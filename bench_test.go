@@ -1,0 +1,449 @@
+// Benchmarks regenerating the core measurement of every table and figure in
+// the paper's evaluation (one Benchmark* family per experiment; the full
+// tables, with workload sweeps and accuracy columns, are produced by
+// cmd/spatialbench). Fixtures are built once at a reduced scale so the whole
+// suite completes in minutes; scale knobs live in cmd/spatialbench.
+package distbound
+
+import (
+	"sync"
+	"testing"
+
+	"distbound/internal/act"
+	"distbound/internal/approx"
+	"distbound/internal/data"
+	"distbound/internal/geom"
+	"distbound/internal/index/kdtree"
+	"distbound/internal/index/quadtree"
+	"distbound/internal/index/rstar"
+	"distbound/internal/index/sorted"
+	"distbound/internal/index/strtree"
+	"distbound/internal/join"
+	"distbound/internal/raster"
+	"distbound/internal/rs"
+	"distbound/internal/sfc"
+)
+
+const (
+	benchPoints = 200_000
+	benchCensus = 400
+)
+
+// fig4Fixture holds everything Figure 4's benchmarks share.
+type fig4Fixture struct {
+	pts     []geom.Point
+	keys    []uint64
+	queries []*geom.Polygon
+	covers  map[int][][]raster.PosRange
+	rsIdx   *rs.RadixSpline
+	col     *sorted.Column
+	rstar   *rstar.Tree
+	str     *strtree.Tree
+	qt      *quadtree.Tree
+	kd      *kdtree.Tree
+}
+
+var (
+	fig4Once sync.Once
+	fig4     *fig4Fixture
+)
+
+func fig4Setup(b *testing.B) *fig4Fixture {
+	b.Helper()
+	fig4Once.Do(func() {
+		d := data.CityDomain()
+		curve := sfc.Hilbert{}
+		f := &fig4Fixture{covers: map[int][][]raster.PosRange{}}
+		f.pts, _ = data.TaxiPoints(1, benchPoints)
+		f.queries = data.Census(2, benchCensus)
+		f.keys = make([]uint64, len(f.pts))
+		for i, p := range f.pts {
+			f.keys[i], _ = d.LeafPos(curve, p)
+		}
+		f.col = sorted.New(f.keys)
+		f.keys = f.col.Keys()
+		f.rsIdx = rs.Build(f.keys, rs.DefaultRadixBits, rs.DefaultSplineError)
+		for _, prec := range []int{32, 128, 512} {
+			ranges := make([][]raster.PosRange, len(f.queries))
+			for qi, q := range f.queries {
+				ranges[qi] = raster.CoverBudget(q, d, curve, prec).Ranges()
+			}
+			f.covers[prec] = ranges
+		}
+		ptItems := make([]rstar.Item, len(f.pts))
+		strItems := make([]strtree.Item, len(f.pts))
+		for i, p := range f.pts {
+			r := geom.Rect{Min: p, Max: p}
+			ptItems[i] = rstar.Item{Rect: r, ID: int32(i)}
+			strItems[i] = strtree.Item{Rect: r, ID: int32(i)}
+		}
+		f.rstar = rstar.BulkLoad(ptItems, rstar.DefaultMaxEntries)
+		f.str = strtree.Build(strItems, strtree.DefaultFanout)
+		f.qt = quadtree.Build(f.pts, nil)
+		f.kd = kdtree.Build(f.pts, nil)
+		fig4 = f
+	})
+	return fig4
+}
+
+// benchRangeCounter runs a Figure 4(a) query workload: count points per
+// query polygon through cover ranges.
+func benchCoverQueries(b *testing.B, f *fig4Fixture, prec int, idx interface {
+	CountRange(lo, hi uint64) int
+}) {
+	ranges := f.covers[prec]
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		for _, r := range ranges[i%len(ranges)] {
+			sink += idx.CountRange(r.Lo, r.Hi)
+		}
+	}
+	_ = sink
+}
+
+// BenchmarkFig4a: point-polygon containment query cost per method (one
+// iteration = one query polygon).
+func BenchmarkFig4aRS32(b *testing.B)  { benchCoverQueries(b, fig4Setup(b), 32, fig4Setup(b).rsIdx) }
+func BenchmarkFig4aRS128(b *testing.B) { benchCoverQueries(b, fig4Setup(b), 128, fig4Setup(b).rsIdx) }
+func BenchmarkFig4aRS512(b *testing.B) { benchCoverQueries(b, fig4Setup(b), 512, fig4Setup(b).rsIdx) }
+func BenchmarkFig4aBS512(b *testing.B) { benchCoverQueries(b, fig4Setup(b), 512, fig4Setup(b).col) }
+
+func BenchmarkFig4aRStarTree(b *testing.B) {
+	f := fig4Setup(b)
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += f.rstar.CountRect(f.queries[i%len(f.queries)].Bounds())
+	}
+	_ = sink
+}
+
+func BenchmarkFig4aSTRTree(b *testing.B) {
+	f := fig4Setup(b)
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += f.str.CountRect(f.queries[i%len(f.queries)].Bounds())
+	}
+	_ = sink
+}
+
+func BenchmarkFig4aQuadtree(b *testing.B) {
+	f := fig4Setup(b)
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += f.qt.CountRect(f.queries[i%len(f.queries)].Bounds())
+	}
+	_ = sink
+}
+
+func BenchmarkFig4aKdTree(b *testing.B) {
+	f := fig4Setup(b)
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += f.kd.CountRect(f.queries[i%len(f.queries)].Bounds())
+	}
+	_ = sink
+}
+
+// BenchmarkFig4bCover: the cost of the precision knob itself — building a
+// budgeted query cover (one iteration = one polygon).
+func BenchmarkFig4bCover512(b *testing.B) {
+	f := fig4Setup(b)
+	d := data.CityDomain()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		raster.CoverBudget(f.queries[i%len(f.queries)], d, sfc.Hilbert{}, 512)
+	}
+}
+
+// fig6Fixture holds per-dataset joiners.
+type fig6Fixture struct {
+	ps    join.PointSet
+	names []string
+	act   []*join.ACTJoiner
+	rst   []*join.RStarJoiner
+	si    []*join.SIJoiner
+}
+
+var (
+	fig6Once sync.Once
+	fig6     *fig6Fixture
+)
+
+func fig6Setup(b *testing.B) *fig6Fixture {
+	b.Helper()
+	fig6Once.Do(func() {
+		d := data.CityDomain()
+		curve := sfc.Hilbert{}
+		f := &fig6Fixture{}
+		pts, _ := data.TaxiPoints(1, benchPoints)
+		f.ps = join.PointSet{Pts: pts}
+		for _, ds := range []struct {
+			name  string
+			polys []*geom.Polygon
+		}{
+			{"Boroughs", data.Boroughs(11)},
+			{"Neighborhoods", data.Neighborhoods(12)},
+			{"Census", data.Census(13, benchCensus)},
+		} {
+			regions := data.Regions(ds.polys)
+			aj, err := join.NewACTJoiner(regions, d, curve, 8, 0)
+			if err != nil {
+				panic(err)
+			}
+			sj, err := join.NewSIJoiner(regions, d, curve, 0)
+			if err != nil {
+				panic(err)
+			}
+			f.names = append(f.names, ds.name)
+			f.act = append(f.act, aj)
+			f.rst = append(f.rst, join.NewRStarJoiner(regions, 0))
+			f.si = append(f.si, sj)
+		}
+		fig6 = f
+	})
+	return fig6
+}
+
+// BenchmarkFig6: the main-memory aggregation join, one iteration = one full
+// join over the point set (compare ns/op across engines and datasets).
+func BenchmarkFig6(b *testing.B) {
+	f := fig6Setup(b)
+	for di, name := range f.names {
+		b.Run("ACT/"+name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := f.act[di].Aggregate(f.ps, join.Count); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("RStar/"+name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := f.rst[di].Aggregate(f.ps, join.Count); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("SI/"+name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := f.si[di].Aggregate(f.ps, join.Count); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMemFootprint reports the §5.1 memory comparison as custom bench
+// metrics (bytes per index over the Neighborhoods dataset).
+func BenchmarkMemFootprint(b *testing.B) {
+	f := fig6Setup(b)
+	di := 1 // Neighborhoods
+	for i := 0; i < b.N; i++ {
+		_ = f.act[di].MemoryBytes()
+	}
+	b.ReportMetric(float64(f.act[di].MemoryBytes()), "ACT-bytes")
+	b.ReportMetric(float64(f.si[di].MemoryBytes()), "SI-bytes")
+	b.ReportMetric(float64(f.rst[di].MemoryBytes()), "Rstar-bytes")
+	b.ReportMetric(float64(f.act[di].NumCells()), "ACT-cells")
+}
+
+// fig7Fixture: downtown raster-join workload.
+type fig7Fixture struct {
+	ps      join.PointSet
+	regions []geom.Region
+	bounds  geom.Rect
+	grid    *join.GridJoiner
+}
+
+var (
+	fig7Once sync.Once
+	fig7     *fig7Fixture
+)
+
+func fig7Setup(b *testing.B) *fig7Fixture {
+	b.Helper()
+	fig7Once.Do(func() {
+		f := &fig7Fixture{bounds: data.DowntownBounds()}
+		pts, _ := data.TaxiPointsIn(1, benchPoints, f.bounds)
+		f.ps = join.PointSet{Pts: pts}
+		f.regions = data.NeighborhoodRegions260In(14, f.bounds)
+		f.grid = join.NewGridJoiner(f.ps, f.bounds, 0)
+		fig7 = f
+	})
+	return fig7
+}
+
+// BenchmarkFig7BRJ: one iteration = one full Bounded Raster Join at the
+// given distance bound; compare against BenchmarkFig7Baseline.
+func BenchmarkFig7BRJ(b *testing.B) {
+	f := fig7Setup(b)
+	for _, bound := range []float64{10, 5, 2, 1} {
+		name := map[float64]string{10: "bound=10m", 5: "bound=5m", 2: "bound=2m", 1: "bound=1m"}[bound]
+		b.Run(name, func(b *testing.B) {
+			brj := join.BRJ{Bound: bound, Bounds: f.bounds}
+			for i := 0; i < b.N; i++ {
+				if _, _, err := brj.Run(f.ps, f.regions, join.Count); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFig7Baseline(b *testing.B) {
+	f := fig7Setup(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := f.grid.Aggregate(f.regions, join.Count); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblApprox: construction cost of each approximation kind (§2.1
+// ablation; quality numbers come from cmd/spatialbench -experiment
+// ablapprox).
+func BenchmarkAblApprox(b *testing.B) {
+	polys := data.Neighborhoods(11)
+	d := data.CityDomain()
+	curve := sfc.Hilbert{}
+	kinds := []struct {
+		name  string
+		build func(p *geom.Polygon)
+	}{
+		{"MBR", func(p *geom.Polygon) { approx.MBR(p) }},
+		{"RMBR", func(p *geom.Polygon) { approx.RMBR(p) }},
+		{"MBC", func(p *geom.Polygon) { approx.MBC(p) }},
+		{"CH", func(p *geom.Polygon) { approx.CH(p) }},
+		{"5C", func(p *geom.Polygon) { approx.NCorner(p, 5) }},
+		{"CBR", func(p *geom.Polygon) { approx.CBR(p) }},
+		{"HR64m", func(p *geom.Polygon) {
+			if _, err := approx.HR(p, d, curve, 64); err != nil {
+				panic(err)
+			}
+		}},
+	}
+	for _, k := range kinds {
+		b.Run(k.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				k.build(polys[i%len(polys)])
+			}
+		})
+	}
+}
+
+// BenchmarkAblCurve: linearization cost per point for the two curves (§3
+// ablation; range-fragmentation numbers come from cmd/spatialbench).
+func BenchmarkAblCurve(b *testing.B) {
+	d := data.CityDomain()
+	pts, _ := data.TaxiPoints(1, 10_000)
+	for _, curve := range []sfc.Curve{sfc.Morton{}, sfc.Hilbert{}} {
+		b.Run(curve.Name(), func(b *testing.B) {
+			var sink uint64
+			for i := 0; i < b.N; i++ {
+				pos, _ := d.LeafPos(curve, pts[i%len(pts)])
+				sink += pos
+			}
+			_ = sink
+		})
+	}
+}
+
+// BenchmarkAblACTStride: the trie-fanout design choice DESIGN.md calls out —
+// quadtree levels consumed per trie node trade node count (cache misses)
+// against per-node search width.
+func BenchmarkAblACTStride(b *testing.B) {
+	d := data.CityDomain()
+	curve := sfc.Hilbert{}
+	regions := data.Regions(data.Neighborhoods(12))
+	pts, _ := data.TaxiPoints(1, 50_000)
+	positions := make([]uint64, len(pts))
+	for i, p := range pts {
+		positions[i], _ = d.LeafPos(curve, p)
+	}
+	for _, stride := range []int{2, 3, 5, 6} {
+		aj, err := join.NewACTJoiner(regions, d, curve, 8, stride)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(map[int]string{2: "stride=2", 3: "stride=3", 5: "stride=5", 6: "stride=6"}[stride],
+			func(b *testing.B) {
+				ps := join.PointSet{Pts: pts}
+				for i := 0; i < b.N; i++ {
+					if _, err := aj.Aggregate(ps, join.Count); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+	}
+	_ = positions
+}
+
+// BenchmarkAblRSParams: RadixSpline tuning — spline error trades lookup
+// window size against spline size; the paper uses error 32.
+func BenchmarkAblRSParams(b *testing.B) {
+	f := fig4Setup(b)
+	for _, splineErr := range []int{8, 32, 128} {
+		idx := rs.Build(f.keys, rs.DefaultRadixBits, splineErr)
+		name := map[int]string{8: "err=8", 32: "err=32", 128: "err=128"}[splineErr]
+		b.Run(name, func(b *testing.B) {
+			var sink int
+			for i := 0; i < b.N; i++ {
+				sink += idx.CountRange(f.keys[i%len(f.keys)], f.keys[(i+7)%len(f.keys)])
+			}
+			_ = sink
+		})
+	}
+}
+
+// BenchmarkAblRasterModes: conservative vs centroid uniform rasterization.
+func BenchmarkAblRasterModes(b *testing.B) {
+	d := data.CityDomain()
+	polys := data.Neighborhoods(12)
+	for _, mode := range []raster.Mode{raster.Conservative, raster.Centroid} {
+		b.Run(mode.String(), func(b *testing.B) {
+			level := d.LevelForBound(16)
+			for i := 0; i < b.N; i++ {
+				raster.Uniform(polys[i%len(polys)], d, sfc.Hilbert{}, level, mode)
+			}
+		})
+	}
+}
+
+// BenchmarkAblCompactTrie: frozen flat-array trie vs pointer trie for the
+// join's point lookups.
+func BenchmarkAblCompactTrie(b *testing.B) {
+	d := data.CityDomain()
+	curve := sfc.Hilbert{}
+	polys := data.Neighborhoods(12)
+	trie := act.MustNew(3)
+	for ri, p := range polys {
+		a, err := raster.Hierarchical(p, d, curve, 8, raster.Conservative)
+		if err != nil {
+			b.Fatal(err)
+		}
+		trie.InsertCells(a.Cells(), int32(ri))
+	}
+	compact := trie.Compact()
+	pts, _ := data.TaxiPoints(1, 10_000)
+	positions := make([]uint64, len(pts))
+	for i, p := range pts {
+		positions[i], _ = d.LeafPos(curve, p)
+	}
+	b.Run("pointer", func(b *testing.B) {
+		var buf []int32
+		for i := 0; i < b.N; i++ {
+			buf = trie.LookupAppend(positions[i%len(positions)], buf[:0])
+		}
+	})
+	b.Run("compact", func(b *testing.B) {
+		var buf []int32
+		for i := 0; i < b.N; i++ {
+			buf = compact.LookupAppend(positions[i%len(positions)], buf[:0])
+		}
+	})
+}

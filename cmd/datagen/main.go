@@ -1,0 +1,55 @@
+// Command datagen dumps the synthetic datasets used by the experiments so
+// they can be inspected, plotted or loaded into another system.
+//
+// Usage:
+//
+//	datagen -dataset taxi -n 100000 > points.csv
+//	datagen -dataset neighborhoods > neighborhoods.wkt
+//	datagen -dataset census -n 500 > census.wkt
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"distbound/internal/data"
+	"distbound/internal/geom"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "taxi", "taxi | boroughs | neighborhoods | census")
+		n       = flag.Int("n", 10_000, "row count (taxi points or census polygons)")
+		seed    = flag.Int64("seed", 1, "synthetic data seed")
+	)
+	flag.Parse()
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+
+	switch *dataset {
+	case "taxi":
+		pts, weights := data.TaxiPoints(*seed, *n)
+		fmt.Fprintln(w, "x,y,fare")
+		for i, p := range pts {
+			fmt.Fprintf(w, "%.3f,%.3f,%.2f\n", p.X, p.Y, weights[i])
+		}
+	case "boroughs":
+		writePolys(w, data.Boroughs(*seed+10))
+	case "neighborhoods":
+		writePolys(w, data.Neighborhoods(*seed+11))
+	case "census":
+		writePolys(w, data.Census(*seed+12, *n))
+	default:
+		fmt.Fprintf(os.Stderr, "datagen: unknown dataset %q\n", *dataset)
+		os.Exit(2)
+	}
+}
+
+func writePolys(w *bufio.Writer, polys []*geom.Polygon) {
+	for _, p := range polys {
+		fmt.Fprintln(w, geom.PolygonWKT(p))
+	}
+}

@@ -1,0 +1,131 @@
+// Command rasterviz renders an ASCII picture of a polygon's raster
+// approximation — Figure 1 of the paper in the terminal. Interior cells are
+// '█', boundary cells '▒', empty cells '·'.
+//
+// Usage:
+//
+//	rasterviz                         # demo polygon, hierarchical raster
+//	rasterviz -mode ur -level 6       # uniform raster at grid level 6
+//	rasterviz -wkt 'POLYGON ((...))'  # your own polygon
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"distbound/internal/geom"
+	"distbound/internal/raster"
+	"distbound/internal/sfc"
+	"distbound/internal/viz"
+)
+
+const demoWKT = `POLYGON ((12 8, 40 4, 52 18, 60 40, 48 56, 30 60, 14 52, 6 30, 12 8), (24 24, 36 26, 34 38, 22 36, 24 24))`
+
+func main() {
+	var (
+		wkt   = flag.String("wkt", demoWKT, "polygon WKT to rasterize")
+		mode  = flag.String("mode", "hr", "hr (hierarchical) | ur (uniform)")
+		level = flag.Int("level", 6, "grid level for -mode ur and display resolution")
+		eps   = flag.Float64("eps", 0, "distance bound for -mode hr (default: one display cell diagonal)")
+		svg   = flag.String("svg", "", "also write an SVG rendering to this file")
+	)
+	flag.Parse()
+
+	poly, err := geom.ParsePolygonWKT(*wkt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rasterviz: %v\n", err)
+		os.Exit(2)
+	}
+	domain := sfc.DomainForRect(poly.Bounds().Expand(poly.Bounds().Width() * 0.05))
+	curve := sfc.Hilbert{}
+
+	var a *raster.Approximation
+	switch *mode {
+	case "ur":
+		a = raster.Uniform(poly, domain, curve, *level, raster.Conservative)
+	case "hr":
+		bound := *eps
+		if bound <= 0 {
+			bound = domain.CellDiagonal(*level)
+		}
+		a, err = raster.Hierarchical(poly, domain, curve, bound, raster.Conservative)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rasterviz: %v\n", err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "rasterviz: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+
+	// Render at the display level: classify each display cell by membership.
+	n := 1 << uint(*level)
+	grid := make([][]byte, n)
+	for y := range grid {
+		grid[y] = make([]byte, n)
+	}
+	markCells := func(ids []sfc.CellID, mark byte) {
+		for _, id := range ids {
+			x, y := id.XY(curve)
+			lvl := id.Level()
+			if lvl <= *level {
+				// Expand coarse cell to display resolution.
+				shift := uint(*level - lvl)
+				for dy := 0; dy < 1<<shift; dy++ {
+					for dx := 0; dx < 1<<shift; dx++ {
+						gx, gy := int(x)<<shift|dx, int(y)<<shift|dy
+						if grid[gy][gx] == 0 || mark == 2 {
+							grid[gy][gx] = mark
+						}
+					}
+				}
+			} else {
+				gx, gy := int(x>>uint(lvl-*level)), int(y>>uint(lvl-*level))
+				if grid[gy][gx] == 0 || mark == 2 {
+					grid[gy][gx] = mark
+				}
+			}
+		}
+	}
+	markCells(a.Interior, 1)
+	markCells(a.Boundary, 2)
+
+	for y := n - 1; y >= 0; y-- {
+		for x := 0; x < n; x++ {
+			switch grid[y][x] {
+			case 1:
+				fmt.Print("█")
+			case 2:
+				fmt.Print("▒")
+			default:
+				fmt.Print("·")
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Printf("\nmode=%s cells=%d (interior %d, boundary %d) guaranteed d_H ≤ %.3g\n",
+		*mode, a.NumCells(), len(a.Interior), len(a.Boundary), a.MaxCellDiagonal())
+
+	if *svg != "" {
+		drawing := viz.New(domain.Bounds(), 900)
+		drawing.AddApproximation(a,
+			viz.Style{Fill: "#7fb07f"},
+			viz.Style{Fill: "#c08fc0"})
+		drawing.AddPolygon(poly, viz.Style{Stroke: "#202040", StrokeWidth: 2})
+		f, err := os.Create(*svg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rasterviz: %v\n", err)
+			os.Exit(1)
+		}
+		if _, err := drawing.WriteTo(f); err != nil {
+			fmt.Fprintf(os.Stderr, "rasterviz: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "rasterviz: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *svg)
+	}
+}

@@ -1,0 +1,106 @@
+package distbound
+
+import (
+	"fmt"
+
+	"distbound/internal/join"
+	"distbound/internal/planner"
+)
+
+// Strategy identifies a physical plan for an aggregation query (§4).
+type Strategy = planner.Strategy
+
+// Physical plan strategies.
+const (
+	StrategyExact = planner.StrategyExact
+	StrategyACT   = planner.StrategyACT
+	StrategyBRJ   = planner.StrategyBRJ
+)
+
+// CostModel holds the planner's calibrated per-operation constants.
+type CostModel = planner.CostModel
+
+// Engine answers spatial aggregation queries over a fixed region set,
+// choosing the physical plan with the §4 cost-based planner: the exact
+// filter-and-refine join, the ACT-indexed approximate join, or the Bounded
+// Raster Join — whichever is estimated cheapest for the requested bound and
+// expected repetitions. Built indexes are cached and reused across calls.
+type Engine struct {
+	regions []Region
+	domain  Domain
+	model   planner.CostModel
+	exact   *join.RStarJoiner
+	act     map[float64]*join.ACTJoiner
+}
+
+// NewEngine creates an engine over the region set.
+func NewEngine(regions []Region) *Engine {
+	return &Engine{
+		regions: regions,
+		domain:  DomainForRegions(regions...),
+		model:   planner.DefaultCostModel(),
+		act:     map[float64]*join.ACTJoiner{},
+	}
+}
+
+// SetCostModel overrides the planner constants (e.g. after calibrating on
+// the target machine).
+func (e *Engine) SetCostModel(m CostModel) { e.model = m }
+
+// Plan returns the planner's decision for a query without executing it.
+// bound ≤ 0 requests exact answers; repetitions is the number of times the
+// caller expects to aggregate over this region set (amortizing index
+// builds), minimum 1.
+func (e *Engine) Plan(numPoints int, bound float64, repetitions int) planner.Plan {
+	return e.model.Choose(planner.Query{
+		NumPoints:   numPoints,
+		Regions:     e.regions,
+		Bound:       bound,
+		Repetitions: repetitions,
+	})
+}
+
+// Aggregate answers the aggregation query with the planner-selected
+// strategy, reporting which strategy ran. Exact strategies ignore the bound;
+// approximate ones guarantee every error is within bound of a region
+// boundary.
+func (e *Engine) Aggregate(ps PointSet, agg Agg, bound float64, repetitions int) (Result, Strategy, error) {
+	plan := e.Plan(len(ps.Pts), bound, repetitions)
+	strategy := plan.Strategy
+	// MIN/MAX are not supported by the raster join; fall back to ACT, which
+	// is the next-best approximate plan.
+	if strategy == StrategyBRJ && (agg == Min || agg == Max) {
+		strategy = StrategyACT
+	}
+	switch strategy {
+	case StrategyExact:
+		if e.exact == nil {
+			e.exact = join.NewRStarJoiner(e.regions, 0)
+		}
+		res, err := e.exact.Aggregate(ps, agg)
+		return res, strategy, err
+	case StrategyACT:
+		aj, ok := e.act[bound]
+		if !ok {
+			var err error
+			aj, err = join.NewACTJoiner(e.regions, e.domain, Hilbert, bound, 0)
+			if err != nil {
+				return Result{}, strategy, fmt.Errorf("distbound: building ACT index: %w", err)
+			}
+			e.act[bound] = aj
+		}
+		res, err := aj.Aggregate(ps, agg)
+		return res, strategy, err
+	case StrategyBRJ:
+		brj := join.BRJ{Bound: bound, Bounds: e.domain.Bounds()}
+		res, _, err := brj.Run(ps, e.regions, agg)
+		return res, strategy, err
+	default:
+		return Result{}, strategy, fmt.Errorf("distbound: unknown strategy %v", strategy)
+	}
+}
+
+// Explain renders the cost comparison for a query, marking the chosen plan.
+func (e *Engine) Explain(numPoints int, bound float64, repetitions int) string {
+	return e.Plan(numPoints, bound, repetitions).Explain()
+}

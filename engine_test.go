@@ -1,0 +1,114 @@
+package distbound
+
+import (
+	"strings"
+	"testing"
+
+	"distbound/internal/data"
+)
+
+func dataRegions(seed int64, cols, rows, ptsPerEdge int) []Region {
+	return data.Regions(data.Partition(seed, cols, rows, ptsPerEdge))
+}
+
+func TestEngineExactWhenNoBound(t *testing.T) {
+	ps, regions := facadeWorkload(10000)
+	e := NewEngine(regions)
+	res, strategy, err := e.Aggregate(ps, Count, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strategy != StrategyExact {
+		t.Errorf("no bound: ran %v", strategy)
+	}
+	brute, _ := BruteForceJoin(ps, regions, Count)
+	for i := range regions {
+		if res.Counts[i] != brute.Counts[i] {
+			t.Fatalf("region %d: exact engine differs from brute force", i)
+		}
+	}
+}
+
+func TestEngineApproximateStrategiesAccurate(t *testing.T) {
+	ps, regions := facadeWorkload(20000)
+	exact, _ := BruteForceJoin(ps, regions, Count)
+	e := NewEngine(regions)
+
+	// One-shot at a moderate bound and a repeated fine-bound workload should
+	// pick different plans; both must stay within the error guarantee.
+	for _, q := range []struct {
+		bound float64
+		reps  int
+	}{
+		{64, 1}, {16, 100000},
+	} {
+		res, strategy, err := e.Aggregate(ps, Count, q.bound, q.reps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if med := MedianRelativeError(res, exact); med > 0.02 {
+			t.Errorf("bound=%g reps=%d (%v): median error %g", q.bound, q.reps, strategy, med)
+		}
+	}
+}
+
+// complexRegions returns a partition with high per-polygon vertex counts, so
+// that exact PIP refinement is expensive enough for index builds to pay off.
+func complexRegions() []Region {
+	return dataRegions(41, 5, 5, 40) // 164 vertices per region
+}
+
+func TestEnginePlanSwitchesWithRepetitions(t *testing.T) {
+	regions := complexRegions()
+	e := NewEngine(regions)
+	oneShot := e.Plan(2_000_000, 2, 1)
+	repeated := e.Plan(2_000_000, 2, 100000)
+	if oneShot.Strategy == StrategyACT {
+		t.Errorf("one-shot fine-bound query planned ACT: %v", oneShot.Costs)
+	}
+	if repeated.Strategy != StrategyACT {
+		t.Errorf("heavily repeated query planned %v: %v", repeated.Strategy, repeated.Costs)
+	}
+	out := e.Explain(2_000_000, 2, 100000)
+	if !strings.Contains(out, "act") || !strings.Contains(out, "*") {
+		t.Errorf("Explain output unexpected:\n%s", out)
+	}
+}
+
+func TestEngineMinMaxAvoidsBRJ(t *testing.T) {
+	ps, regions := facadeWorkload(5000)
+	e := NewEngine(regions)
+	// Force a setup where BRJ would normally be planned (coarse bound,
+	// one-shot) and verify MIN falls back to a supporting strategy.
+	res, strategy, err := e.Aggregate(ps, Min, 64, 1)
+	if err != nil {
+		t.Fatalf("MIN via engine failed (%v): %v", strategy, err)
+	}
+	if strategy == StrategyBRJ {
+		t.Error("MIN ran on BRJ")
+	}
+	if res.NumRegions() != len(regions) {
+		t.Error("result size wrong")
+	}
+}
+
+func TestEngineCachesACTIndex(t *testing.T) {
+	ps, _ := facadeWorkload(5000)
+	regions := complexRegions()
+	e := NewEngine(regions)
+	// Two aggregations at the same bound with huge repetitions: the second
+	// must reuse the cached index (observable via the map).
+	if _, _, err := e.Aggregate(ps, Count, 16, 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if len(e.act) != 1 {
+		t.Fatalf("expected 1 cached index, have %d", len(e.act))
+	}
+	idx := e.act[16]
+	if _, _, err := e.Aggregate(ps, Count, 16, 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if e.act[16] != idx {
+		t.Error("ACT index rebuilt instead of reused")
+	}
+}

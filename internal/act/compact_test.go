@@ -1,0 +1,111 @@
+package act
+
+import (
+	"math/rand"
+	"testing"
+
+	"distbound/internal/sfc"
+)
+
+// randomTrie builds a trie with random cells for equivalence testing.
+func randomTrie(t *testing.T, seed int64, stride, n int) (*Trie, []sfc.CellID) {
+	t.Helper()
+	tr := MustNew(stride)
+	rng := rand.New(rand.NewSource(seed))
+	cells := make([]sfc.CellID, n)
+	for i := range cells {
+		level := rng.Intn(sfc.MaxLevel + 1)
+		pos := rng.Uint64() & (uint64(1)<<(2*uint(level)) - 1)
+		cells[i] = sfc.FromPosLevel(pos, level)
+		tr.Insert(cells[i], int32(i))
+	}
+	return tr, cells
+}
+
+func TestCompactEquivalence(t *testing.T) {
+	for _, stride := range []int{2, 3, 5} {
+		tr, cells := randomTrie(t, int64(stride), stride, 2000)
+		ct := tr.Compact()
+		if ct.NumCells() != tr.NumCells() {
+			t.Fatalf("stride %d: cell count %d vs %d", stride, ct.NumCells(), tr.NumCells())
+		}
+		if ct.NumNodes() != tr.NumNodes() {
+			t.Fatalf("stride %d: node count %d vs %d", stride, ct.NumNodes(), tr.NumNodes())
+		}
+		rng := rand.New(rand.NewSource(99))
+		var a, b []int32
+		for i := 0; i < 20000; i++ {
+			var pos uint64
+			if i%2 == 0 {
+				pos = rng.Uint64() & (uint64(1)<<(2*sfc.MaxLevel) - 1)
+			} else {
+				// Probe inside a known cell to guarantee hits.
+				lo, hi := cells[rng.Intn(len(cells))].LeafPosRange()
+				pos = lo + rng.Uint64()%(hi-lo+1)
+			}
+			a = tr.LookupAppend(pos, a[:0])
+			b = ct.LookupAppend(pos, b[:0])
+			if len(a) != len(b) {
+				t.Fatalf("stride %d pos %d: %v vs %v", stride, pos, a, b)
+			}
+			for k := range a {
+				if a[k] != b[k] {
+					t.Fatalf("stride %d pos %d: %v vs %v", stride, pos, a, b)
+				}
+			}
+			if tr.LookupFirst(pos) != ct.LookupFirst(pos) {
+				t.Fatalf("stride %d pos %d: LookupFirst differs", stride, pos)
+			}
+		}
+	}
+}
+
+func TestCompactEmpty(t *testing.T) {
+	tr := MustNew(3)
+	ct := tr.Compact()
+	if got := ct.LookupFirst(12345); got != -1 {
+		t.Errorf("empty compact trie returned %d", got)
+	}
+	if ct.LookupAppend(0, nil) != nil {
+		t.Error("empty compact trie appended values")
+	}
+	if ct.MemoryBytes() <= 0 {
+		t.Error("MemoryBytes must be positive")
+	}
+}
+
+func TestCompactSmallerThanPointerTrie(t *testing.T) {
+	tr, _ := randomTrie(t, 7, 3, 50000)
+	ct := tr.Compact()
+	if ct.MemoryBytes() >= tr.MemoryBytes() {
+		t.Errorf("compact (%d B) not smaller than pointer trie (%d B)",
+			ct.MemoryBytes(), tr.MemoryBytes())
+	}
+}
+
+func BenchmarkTrieLookup(b *testing.B) {
+	tr := MustNew(3)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500000; i++ {
+		level := 10 + rng.Intn(6)
+		pos := rng.Uint64() & (uint64(1)<<(2*uint(level)) - 1)
+		tr.Insert(sfc.FromPosLevel(pos, level), int32(i))
+	}
+	ct := tr.Compact()
+	probes := make([]uint64, 4096)
+	for i := range probes {
+		probes[i] = rng.Uint64() & (uint64(1)<<(2*sfc.MaxLevel) - 1)
+	}
+	b.Run("pointer", func(b *testing.B) {
+		var buf []int32
+		for i := 0; i < b.N; i++ {
+			buf = tr.LookupAppend(probes[i%len(probes)], buf[:0])
+		}
+	})
+	b.Run("compact", func(b *testing.B) {
+		var buf []int32
+		for i := 0; i < b.N; i++ {
+			buf = ct.LookupAppend(probes[i%len(probes)], buf[:0])
+		}
+	})
+}

@@ -1,0 +1,180 @@
+package canvas
+
+import (
+	"math"
+	"sort"
+
+	"distbound/internal/geom"
+)
+
+// This file is the software rasterizer: the two ways §4 names for producing
+// a rasterized canvas are rendering data directly ("on the GPU") and reading
+// it out of an index; this is the former.
+
+// RenderPoints scatters points into the canvas, accumulating weight(i) at
+// the pixel containing each point (BlendAdd semantics, matching additive
+// blending of point sprites). Points outside the window are clipped.
+func (c *Canvas) RenderPoints(pts []geom.Point, weight func(i int) float64) {
+	for i, p := range pts {
+		gx, gy := c.G.PixelOf(p)
+		if !c.contains(gx, gy) {
+			continue
+		}
+		w := 1.0
+		if weight != nil {
+			w = weight(i)
+		}
+		c.Pix[c.idx(gx, gy)] += w
+	}
+}
+
+// RenderRegion fills the region into the canvas with the given value using
+// the GPU sampling rule: a pixel is covered exactly when its center is
+// inside the region (centroid sampling). This makes the canvas a
+// non-conservative distance-bounded approximation with bound = pixel
+// diagonal. Already-set pixels are overwritten (BlendOver semantics).
+func (c *Canvas) RenderRegion(rg geom.Region, value float64) {
+	rings := regionRings(rg)
+	bb := rg.Bounds().Intersection(c.Bounds())
+	if bb.IsEmpty() {
+		return
+	}
+	gx0, gy0 := c.G.PixelOf(bb.Min)
+	gx1, gy1 := c.G.PixelOf(bb.Max)
+	gx0, gy0 = maxInt(gx0, c.X0), maxInt(gy0, c.Y0)
+	gx1, gy1 = minInt(gx1, c.X0+c.W-1), minInt(gy1, c.Y0+c.H-1)
+
+	if rings == nil {
+		// Generic fallback: test every pixel center.
+		for gy := gy0; gy <= gy1; gy++ {
+			for gx := gx0; gx <= gx1; gx++ {
+				if rg.ContainsPoint(c.G.PixelCenter(gx, gy)) {
+					c.Pix[c.idx(gx, gy)] = value
+				}
+			}
+		}
+		return
+	}
+
+	// Scanline fill: crossings of each pixel-center row with all rings.
+	var xs []float64
+	for gy := gy0; gy <= gy1; gy++ {
+		cy := c.G.Origin.Y + (float64(gy)+0.5)*c.G.PixelSize
+		xs = xs[:0]
+		for _, ring := range rings {
+			for i := range ring {
+				e := ring.Edge(i)
+				if (e.A.Y <= cy) == (e.B.Y <= cy) {
+					continue
+				}
+				xs = append(xs, e.A.X+(cy-e.A.Y)*(e.B.X-e.A.X)/(e.B.Y-e.A.Y))
+			}
+		}
+		if len(xs) < 2 {
+			continue
+		}
+		sort.Float64s(xs)
+		for k := 0; k+1 < len(xs); k += 2 {
+			lo := int(math.Ceil((xs[k]-c.G.Origin.X)/c.G.PixelSize - 0.5))
+			hi := int(math.Ceil((xs[k+1]-c.G.Origin.X)/c.G.PixelSize-0.5)) - 1
+			lo, hi = maxInt(lo, gx0), minInt(hi, gx1)
+			if lo > hi {
+				continue
+			}
+			i := c.idx(lo, gy)
+			for gx := lo; gx <= hi; gx++ {
+				c.Pix[i] = value
+				i++
+			}
+		}
+	}
+}
+
+// RenderRegionBoundary marks every pixel the region boundary passes through
+// with value. Combined with RenderRegion this yields the boundary-pixel set
+// used for result-range estimation (§6: errors happen only at boundary
+// cells).
+func (c *Canvas) RenderRegionBoundary(rg geom.Region, value float64) {
+	for _, ring := range regionRings(rg) {
+		for i := range ring {
+			c.renderSegment(ring.Edge(i), value)
+		}
+	}
+}
+
+// renderSegment marks the pixels along a segment (midpoint grid traversal,
+// same approach as raster.traverseEdge).
+func (c *Canvas) renderSegment(e geom.Segment, value float64) {
+	ps := c.G.PixelSize
+	ts := []float64{0, 1}
+	collect := func(a, b, origin float64) {
+		if a == b {
+			return
+		}
+		lo, hi := math.Min(a, b), math.Max(a, b)
+		kLo := int64(math.Ceil((lo - origin) / ps))
+		kHi := int64(math.Floor((hi - origin) / ps))
+		for k := kLo; k <= kHi; k++ {
+			t := (origin + float64(k)*ps - a) / (b - a)
+			if t > 0 && t < 1 {
+				ts = append(ts, t)
+			}
+		}
+	}
+	collect(e.A.X, e.B.X, c.G.Origin.X)
+	collect(e.A.Y, e.B.Y, c.G.Origin.Y)
+	sort.Float64s(ts)
+	dir := e.B.Sub(e.A)
+	for i := 0; i+1 < len(ts); i++ {
+		p := e.A.Add(dir.Scale((ts[i] + ts[i+1]) / 2))
+		gx, gy := c.G.PixelOf(p)
+		c.Set(gx, gy, value)
+	}
+	gx, gy := c.G.PixelOf(e.A)
+	c.Set(gx, gy, value)
+	gx, gy = c.G.PixelOf(e.B)
+	c.Set(gx, gy, value)
+}
+
+// regionRings mirrors raster.regionRings for the known Region types.
+func regionRings(rg geom.Region) []geom.Ring {
+	switch v := rg.(type) {
+	case *geom.Polygon:
+		return v.Rings()
+	case *geom.MultiPolygon:
+		var out []geom.Ring
+		for _, p := range v.Polygons {
+			out = append(out, p.Rings()...)
+		}
+		return out
+	default:
+		return nil
+	}
+}
+
+// Tiles splits the pixel window needed for bounds into tile windows of at
+// most maxTex × maxTex pixels — the multi-pass subdivision the paper
+// describes when the required canvas resolution exceeds what the GPU
+// supports.
+func Tiles(g Grid, bounds geom.Rect, maxTex int) []geom.Rect {
+	if bounds.IsEmpty() {
+		return nil
+	}
+	if maxTex < 1 {
+		maxTex = DefaultMaxTextureSize
+	}
+	x0, y0 := g.PixelOf(bounds.Min)
+	x1, y1 := g.PixelOf(bounds.Max)
+	var out []geom.Rect
+	for ty := y0; ty <= y1; ty += maxTex {
+		for tx := x0; tx <= x1; tx += maxTex {
+			hx := minInt(tx+maxTex-1, x1)
+			hy := minInt(ty+maxTex-1, y1)
+			out = append(out, geom.Rect{
+				Min: g.PixelRect(tx, ty).Min,
+				Max: g.PixelRect(hx, hy).Max,
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,181 @@
+// Package experiments contains one driver per table/figure of the paper's
+// evaluation, each regenerating the corresponding result on the synthetic
+// workloads (see DESIGN.md for the experiment index and EXPERIMENTS.md for
+// recorded outcomes):
+//
+//	fig4a     — Figure 4(a): point-polygon containment query performance
+//	fig4b     — Figure 4(b): qualifying points vs raster precision
+//	fig6      — Figure 6:    main-memory join (ACT vs R* vs SI)
+//	mem       — §5.1 text:   index memory footprints
+//	fig7      — Figure 7:    Bounded Raster Join vs grid baseline
+//	ablapprox — §2.1/2.2:    approximation quality ablation
+//	ablcurve  — §3:          Morton vs Hilbert linearization ablation
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Config scales the experiments. The defaults approximate the paper's
+// workloads at laptop scale; the paper's full sizes (1.2B points, 39,200
+// census polygons) are reachable by raising the knobs.
+type Config struct {
+	// Seed drives all synthetic data generation.
+	Seed int64
+	// NumPoints is the taxi point count (paper: 1.2e9; default 2e6).
+	NumPoints int
+	// CensusCount is the census polygon count (paper: 39,200; default 2,000).
+	CensusCount int
+	// Quick shrinks everything for smoke tests.
+	Quick bool
+}
+
+// WithDefaults fills unset fields.
+func (c Config) WithDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.NumPoints == 0 {
+		c.NumPoints = 2_000_000
+	}
+	if c.CensusCount == 0 {
+		c.CensusCount = 2_000
+	}
+	if c.Quick {
+		if c.NumPoints > 100_000 {
+			c.NumPoints = 100_000
+		}
+		if c.CensusCount > 200 {
+			c.CensusCount = 200
+		}
+	}
+	return c
+}
+
+// Table is a rendered experiment result.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// AddNote appends a footnote line.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s ==\n", t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			if i == 0 {
+				parts[i] = fmt.Sprintf("%-*s", w, c)
+			} else {
+				parts[i] = fmt.Sprintf("%*s", w, c)
+			}
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.Header)
+	total := 2
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	fmt.Fprintln(w, "  "+strings.Repeat("-", total-2))
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// timeIt measures fn's wall-clock duration.
+func timeIt(fn func()) time.Duration {
+	start := time.Now()
+	fn()
+	return time.Since(start)
+}
+
+// fmtDur renders a duration with 3 significant figures.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%.1fµs", float64(d.Nanoseconds())/1000)
+	}
+}
+
+// fmtBytes renders a byte count.
+func fmtBytes(b int) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}
+
+// Runner is a named experiment driver.
+type Runner struct {
+	Name string
+	Desc string
+	Run  func(Config) (*Table, error)
+}
+
+// Runners lists every experiment in presentation order.
+func Runners() []Runner {
+	return []Runner{
+		{"fig4a", "Figure 4(a): point-polygon containment query performance", Fig4a},
+		{"fig4b", "Figure 4(b): qualifying points vs raster precision", Fig4b},
+		{"fig6", "Figure 6: main-memory join (ACT vs R*-tree vs SI)", Fig6},
+		{"mem", "§5.1: index memory footprints (Neighborhoods)", Mem},
+		{"fig7", "Figure 7: Bounded Raster Join vs grid baseline", Fig7},
+		{"ablapprox", "§2.1/§2.2: approximation quality ablation", AblApprox},
+		{"ablcurve", "§3: Morton vs Hilbert linearization ablation", AblCurve},
+	}
+}
+
+// RunnerByName returns the named runner, or an error listing valid names.
+func RunnerByName(name string) (Runner, error) {
+	var names []string
+	for _, r := range Runners() {
+		if r.Name == name {
+			return r, nil
+		}
+		names = append(names, r.Name)
+	}
+	sort.Strings(names)
+	return Runner{}, fmt.Errorf("experiments: unknown experiment %q (have %s)", name, strings.Join(names, ", "))
+}

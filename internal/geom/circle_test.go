@@ -1,0 +1,79 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCircleRegionInterface(t *testing.T) {
+	c := Circle{Center: Pt(10, 10), Radius: 5}
+	b := c.Bounds()
+	if b.Min != Pt(5, 5) || b.Max != Pt(15, 15) {
+		t.Errorf("Bounds = %v", b)
+	}
+	if !c.ContainsPoint(Pt(10, 14.9)) || c.ContainsPoint(Pt(10, 15.1)) {
+		t.Error("containment wrong")
+	}
+	if got := c.DistToPoint(Pt(10, 10)); got != 0 {
+		t.Errorf("inside DistToPoint = %v", got)
+	}
+	if got := c.DistToPoint(Pt(10, 17)); math.Abs(got-2) > 1e-12 {
+		t.Errorf("outside DistToPoint = %v, want 2", got)
+	}
+	if got := c.BoundaryDist(Pt(10, 10)); math.Abs(got-5) > 1e-12 {
+		t.Errorf("center BoundaryDist = %v, want 5", got)
+	}
+	if c.NumVertices() != 0 {
+		t.Error("NumVertices should be 0")
+	}
+}
+
+func TestCircleRelateRect(t *testing.T) {
+	c := Circle{Center: Pt(0, 0), Radius: 10}
+	cases := []struct {
+		r    Rect
+		want RectRelation
+	}{
+		{Rect{Pt(-2, -2), Pt(2, 2)}, RectInside},
+		{Rect{Pt(20, 20), Pt(30, 30)}, RectOutside},
+		{Rect{Pt(8, -2), Pt(12, 2)}, RectPartial},     // straddles the arc
+		{Rect{Pt(-20, -20), Pt(20, 20)}, RectPartial}, // contains the disk
+		{Rect{Pt(9, 9), Pt(11, 11)}, RectOutside},     // corner gap outside
+	}
+	for _, cs := range cases {
+		if got := c.RelateRect(cs.r); got != cs.want {
+			t.Errorf("RelateRect(%v) = %v, want %v", cs.r, got, cs.want)
+		}
+	}
+}
+
+func TestCircleRelateRectConsistentWithSampling(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := Circle{Center: Pt(50, 50), Radius: 20}
+	for trial := 0; trial < 300; trial++ {
+		lo := Pt(rng.Float64()*100, rng.Float64()*100)
+		r := Rect{Min: lo, Max: Pt(lo.X+rng.Float64()*30, lo.Y+rng.Float64()*30)}
+		rel := c.RelateRect(r)
+		// Sample the rect and check consistency.
+		anyIn, anyOut := false, false
+		for i := 0; i < 50; i++ {
+			p := Pt(r.Min.X+rng.Float64()*r.Width(), r.Min.Y+rng.Float64()*r.Height())
+			if c.ContainsPoint(p) {
+				anyIn = true
+			} else {
+				anyOut = true
+			}
+		}
+		switch rel {
+		case RectInside:
+			if anyOut {
+				t.Fatalf("rect %v classified inside but sample outside", r)
+			}
+		case RectOutside:
+			if anyIn {
+				t.Fatalf("rect %v classified outside but sample inside", r)
+			}
+		}
+	}
+}

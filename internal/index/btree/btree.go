@@ -1,0 +1,248 @@
+// Package btree implements an in-memory B+-tree over uint64 keys with
+// subtree counts, the alternative physical representation for linearized
+// cells that §3 of the paper mentions alongside the sorted array. Subtree
+// counts give O(log n) rank queries, so COUNT over a key range needs two
+// descents — the same interface the sorted column and the learned index
+// expose.
+package btree
+
+import "sort"
+
+// degree is the maximum number of keys per node; nodes split at degree and
+// hold at least degree/2 keys (except the root).
+const degree = 64
+
+type node struct {
+	keys     []uint64
+	children []*node // nil for leaves
+	counts   []int   // per-child subtree key counts (internal nodes)
+	next     *node   // leaf-level chain for range scans
+}
+
+func (n *node) leaf() bool { return n.children == nil }
+
+// Tree is a B+-tree multiset of uint64 keys.
+type Tree struct {
+	root *node
+	size int
+}
+
+// New returns an empty tree.
+func New() *Tree {
+	return &Tree{root: &node{}}
+}
+
+// BulkLoad builds a tree from keys (sorted internally) by packing leaves
+// left to right, the standard bottom-up construction.
+func BulkLoad(keys []uint64) *Tree {
+	ks := make([]uint64, len(keys))
+	copy(ks, keys)
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+
+	t := &Tree{size: len(ks)}
+	if len(ks) == 0 {
+		t.root = &node{}
+		return t
+	}
+	// Pack leaves.
+	var level []*node
+	var prev *node
+	for i := 0; i < len(ks); i += degree {
+		end := i + degree
+		if end > len(ks) {
+			end = len(ks)
+		}
+		n := &node{keys: append([]uint64(nil), ks[i:end]...)}
+		if prev != nil {
+			prev.next = n
+		}
+		prev = n
+		level = append(level, n)
+	}
+	// Build internal levels.
+	for len(level) > 1 {
+		var up []*node
+		for i := 0; i < len(level); i += degree {
+			end := i + degree
+			if end > len(level) {
+				end = len(level)
+			}
+			parent := &node{}
+			for j := i; j < end; j++ {
+				child := level[j]
+				if j > i {
+					parent.keys = append(parent.keys, subtreeMin(child))
+				}
+				parent.children = append(parent.children, child)
+				parent.counts = append(parent.counts, subtreeCount(child))
+			}
+			up = append(up, parent)
+		}
+		level = up
+	}
+	t.root = level[0]
+	return t
+}
+
+func subtreeMin(n *node) uint64 {
+	for !n.leaf() {
+		n = n.children[0]
+	}
+	return n.keys[0]
+}
+
+func subtreeCount(n *node) int {
+	if n.leaf() {
+		return len(n.keys)
+	}
+	s := 0
+	for _, c := range n.counts {
+		s += c
+	}
+	return s
+}
+
+// Len returns the number of keys in the tree.
+func (t *Tree) Len() int { return t.size }
+
+// Insert adds a key (duplicates allowed).
+func (t *Tree) Insert(key uint64) {
+	t.size++
+	mid, right := t.insert(t.root, key)
+	if right != nil {
+		old := t.root
+		t.root = &node{
+			keys:     []uint64{mid},
+			children: []*node{old, right},
+			counts:   []int{subtreeCount(old), subtreeCount(right)},
+		}
+	}
+}
+
+// insert adds key under n and returns a separator and sibling when n splits.
+func (t *Tree) insert(n *node, key uint64) (uint64, *node) {
+	if n.leaf() {
+		i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= key })
+		n.keys = append(n.keys, 0)
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = key
+		if len(n.keys) <= degree {
+			return 0, nil
+		}
+		// Split leaf.
+		mid := len(n.keys) / 2
+		right := &node{keys: append([]uint64(nil), n.keys[mid:]...), next: n.next}
+		n.keys = n.keys[:mid]
+		n.next = right
+		return right.keys[0], right
+	}
+	// Internal: find the child to descend into.
+	i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] > key })
+	n.counts[i]++
+	sep, right := t.insert(n.children[i], key)
+	if right == nil {
+		return 0, nil
+	}
+	// Child split: fix the child's count and link the sibling.
+	n.counts[i] = subtreeCount(n.children[i])
+	n.keys = append(n.keys, 0)
+	copy(n.keys[i+1:], n.keys[i:])
+	n.keys[i] = sep
+	n.children = append(n.children, nil)
+	copy(n.children[i+2:], n.children[i+1:])
+	n.children[i+1] = right
+	n.counts = append(n.counts, 0)
+	copy(n.counts[i+2:], n.counts[i+1:])
+	n.counts[i+1] = subtreeCount(right)
+	if len(n.children) <= degree {
+		return 0, nil
+	}
+	// Split internal node.
+	mid := len(n.keys) / 2
+	sepUp := n.keys[mid]
+	rightNode := &node{
+		keys:     append([]uint64(nil), n.keys[mid+1:]...),
+		children: append([]*node(nil), n.children[mid+1:]...),
+		counts:   append([]int(nil), n.counts[mid+1:]...),
+	}
+	n.keys = n.keys[:mid]
+	n.children = n.children[:mid+1]
+	n.counts = n.counts[:mid+1]
+	return sepUp, rightNode
+}
+
+// Rank returns the number of keys strictly less than key.
+//
+// Separators equal the minimum of their right child, so descending into the
+// first child whose separator is ≥ key guarantees that every subtree to the
+// left holds only keys < key (they precede a separator < key) and every
+// subtree to the right holds only keys ≥ key — duplicates that straddle leaf
+// boundaries are handled correctly.
+func (t *Tree) Rank(key uint64) int {
+	rank := 0
+	n := t.root
+	for !n.leaf() {
+		i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= key })
+		for j := 0; j < i; j++ {
+			rank += n.counts[j]
+		}
+		n = n.children[i]
+	}
+	return rank + sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= key })
+}
+
+// CountRange returns the number of keys in the inclusive range [lo, hi].
+func (t *Tree) CountRange(lo, hi uint64) int {
+	if lo > hi {
+		return 0
+	}
+	if hi == ^uint64(0) {
+		return t.size - t.Rank(lo)
+	}
+	return t.Rank(hi+1) - t.Rank(lo)
+}
+
+// Visit calls fn with every key in [lo, hi] in order, stopping early when fn
+// returns false, using the leaf chain.
+func (t *Tree) Visit(lo, hi uint64, fn func(key uint64) bool) {
+	n := t.root
+	for !n.leaf() {
+		i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= lo })
+		n = n.children[i]
+	}
+	for ; n != nil; n = n.next {
+		for _, k := range n.keys {
+			if k < lo {
+				continue
+			}
+			if k > hi {
+				return
+			}
+			if !fn(k) {
+				return
+			}
+		}
+	}
+}
+
+// Height returns the tree height (1 for a lone leaf).
+func (t *Tree) Height() int {
+	h := 1
+	for n := t.root; !n.leaf(); n = n.children[0] {
+		h++
+	}
+	return h
+}
+
+// MemoryBytes estimates the tree footprint.
+func (t *Tree) MemoryBytes() int {
+	var walk func(n *node) int
+	walk = func(n *node) int {
+		b := 8*len(n.keys) + 8*len(n.children) + 8*len(n.counts) + 48
+		for _, c := range n.children {
+			b += walk(c)
+		}
+		return b
+	}
+	return walk(t.root)
+}

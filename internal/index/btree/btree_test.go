@@ -1,0 +1,185 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func refRank(keys []uint64, k uint64) int {
+	n := 0
+	for _, x := range keys {
+		if x < k {
+			n++
+		}
+	}
+	return n
+}
+
+func TestEmpty(t *testing.T) {
+	tr := New()
+	if tr.Len() != 0 || tr.Rank(5) != 0 || tr.CountRange(0, 100) != 0 {
+		t.Error("empty tree misbehaves")
+	}
+	if tr.Height() != 1 {
+		t.Errorf("empty height = %d", tr.Height())
+	}
+}
+
+func TestInsertRankSmall(t *testing.T) {
+	tr := New()
+	keys := []uint64{5, 1, 9, 3, 3, 7, 5, 5}
+	for _, k := range keys {
+		tr.Insert(k)
+	}
+	if tr.Len() != len(keys) {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for _, k := range []uint64{0, 1, 2, 3, 4, 5, 6, 9, 10} {
+		if got, want := tr.Rank(k), refRank(keys, k); got != want {
+			t.Errorf("Rank(%d) = %d, want %d", k, got, want)
+		}
+	}
+	if got := tr.CountRange(3, 5); got != 5 {
+		t.Errorf("CountRange(3,5) = %d, want 5", got)
+	}
+	if got := tr.CountRange(5, 3); got != 0 {
+		t.Errorf("inverted range = %d", got)
+	}
+	if got := tr.CountRange(0, ^uint64(0)); got != len(keys) {
+		t.Errorf("full range = %d", got)
+	}
+}
+
+func TestInsertManyMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tr := New()
+	var keys []uint64
+	for i := 0; i < 20000; i++ {
+		k := rng.Uint64() % 5000
+		keys = append(keys, k)
+		tr.Insert(k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for trial := 0; trial < 500; trial++ {
+		k := rng.Uint64() % 5500
+		want := sort.Search(len(keys), func(i int) bool { return keys[i] >= k })
+		if got := tr.Rank(k); got != want {
+			t.Fatalf("Rank(%d) = %d, want %d", k, got, want)
+		}
+	}
+	if tr.Height() < 2 {
+		t.Error("tree did not grow")
+	}
+}
+
+func TestBulkLoadMatchesInsert(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	keys := make([]uint64, 50000)
+	for i := range keys {
+		keys[i] = rng.Uint64() % 100000
+	}
+	bl := BulkLoad(keys)
+	if bl.Len() != len(keys) {
+		t.Fatalf("BulkLoad Len = %d", bl.Len())
+	}
+	ins := New()
+	for _, k := range keys[:5000] {
+		ins.Insert(k)
+	}
+	sorted := append([]uint64(nil), keys...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for trial := 0; trial < 500; trial++ {
+		lo := rng.Uint64() % 100000
+		hi := lo + rng.Uint64()%10000
+		wantLo := sort.Search(len(sorted), func(i int) bool { return sorted[i] >= lo })
+		wantHi := sort.Search(len(sorted), func(i int) bool { return sorted[i] > hi })
+		if got := bl.CountRange(lo, hi); got != wantHi-wantLo {
+			t.Fatalf("BulkLoad CountRange(%d,%d) = %d, want %d", lo, hi, got, wantHi-wantLo)
+		}
+	}
+}
+
+func TestBulkLoadAfterInsert(t *testing.T) {
+	// Inserting into a bulk-loaded tree keeps invariants.
+	keys := make([]uint64, 1000)
+	for i := range keys {
+		keys[i] = uint64(i * 2)
+	}
+	tr := BulkLoad(keys)
+	for i := 0; i < 500; i++ {
+		tr.Insert(uint64(i*4 + 1))
+	}
+	if tr.Len() != 1500 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	// Rank of 100: evens 0..98 (50 keys) + odds 1,5,...<100 (25 keys) = 75.
+	if got := tr.Rank(100); got != 75 {
+		t.Errorf("Rank(100) = %d, want 75", got)
+	}
+}
+
+func TestVisit(t *testing.T) {
+	tr := BulkLoad([]uint64{1, 3, 3, 5, 9, 200, 201})
+	var got []uint64
+	tr.Visit(3, 200, func(k uint64) bool { got = append(got, k); return true })
+	want := []uint64{3, 3, 5, 9, 200}
+	if len(got) != len(want) {
+		t.Fatalf("Visit = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Visit = %v, want %v", got, want)
+		}
+	}
+	n := 0
+	tr.Visit(0, 300, func(uint64) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("early stop visited %d", n)
+	}
+}
+
+func TestDuplicatesAcrossLeaves(t *testing.T) {
+	// Hammer one value so duplicates straddle many leaves.
+	tr := New()
+	for i := 0; i < 1000; i++ {
+		tr.Insert(42)
+	}
+	for i := 0; i < 100; i++ {
+		tr.Insert(41)
+		tr.Insert(43)
+	}
+	if got := tr.Rank(42); got != 100 {
+		t.Errorf("Rank(42) = %d, want 100", got)
+	}
+	if got := tr.CountRange(42, 42); got != 1000 {
+		t.Errorf("CountRange(42,42) = %d, want 1000", got)
+	}
+}
+
+func TestQuickCountRange(t *testing.T) {
+	f := func(keys []uint64, lo, hi uint64) bool {
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		tr := BulkLoad(keys)
+		want := 0
+		for _, k := range keys {
+			if k >= lo && k <= hi {
+				want++
+			}
+		}
+		return tr.CountRange(lo, hi) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMemoryBytes(t *testing.T) {
+	tr := BulkLoad(make([]uint64, 10000))
+	if tr.MemoryBytes() < 8*10000 {
+		t.Errorf("MemoryBytes = %d, implausibly small", tr.MemoryBytes())
+	}
+}

@@ -1,0 +1,193 @@
+// Package strtree implements the Sort-Tile-Recursive packed R-tree of
+// Leutenegger, López and Edgington (ICDE'97), one of the MBR-filtering
+// baselines of Figure 4: a static R-tree built by sorting entries into a
+// √n × √n tile grid by center coordinates and packing nodes to full fanout.
+package strtree
+
+import (
+	"math"
+	"sort"
+
+	"distbound/internal/geom"
+)
+
+// DefaultFanout is the node capacity used when Build is given fanout ≤ 1.
+const DefaultFanout = 16
+
+// Item is an indexed rectangle with an int32 payload. Points are indexed as
+// degenerate rectangles.
+type Item struct {
+	Rect geom.Rect
+	ID   int32
+}
+
+type node struct {
+	bounds   geom.Rect
+	children []*node // internal nodes
+	items    []Item  // leaves
+}
+
+// Tree is an immutable STR-packed R-tree.
+type Tree struct {
+	root   *node
+	size   int
+	height int
+}
+
+// Build constructs the tree from items using the STR packing.
+func Build(items []Item, fanout int) *Tree {
+	if fanout <= 1 {
+		fanout = DefaultFanout
+	}
+	t := &Tree{size: len(items)}
+	if len(items) == 0 {
+		t.root = &node{bounds: geom.EmptyRect()}
+		t.height = 1
+		return t
+	}
+
+	// Leaf level: STR-tile the items.
+	its := append([]Item(nil), items...)
+	leaves := packLeaves(its, fanout)
+	t.height = 1
+
+	level := leaves
+	for len(level) > 1 {
+		level = packNodes(level, fanout)
+		t.height++
+	}
+	t.root = level[0]
+	return t
+}
+
+func center(r geom.Rect) geom.Point { return r.Center() }
+
+// packLeaves tiles items into leaves of up to fanout entries.
+func packLeaves(items []Item, fanout int) []*node {
+	nLeaves := (len(items) + fanout - 1) / fanout
+	nSlices := int(math.Ceil(math.Sqrt(float64(nLeaves))))
+	sliceCap := nSlices * fanout
+
+	sort.Slice(items, func(i, j int) bool {
+		return center(items[i].Rect).X < center(items[j].Rect).X
+	})
+	var leaves []*node
+	for s := 0; s < len(items); s += sliceCap {
+		e := s + sliceCap
+		if e > len(items) {
+			e = len(items)
+		}
+		slice := items[s:e]
+		sort.Slice(slice, func(i, j int) bool {
+			return center(slice[i].Rect).Y < center(slice[j].Rect).Y
+		})
+		for i := 0; i < len(slice); i += fanout {
+			j := i + fanout
+			if j > len(slice) {
+				j = len(slice)
+			}
+			n := &node{items: append([]Item(nil), slice[i:j]...), bounds: geom.EmptyRect()}
+			for _, it := range n.items {
+				n.bounds = n.bounds.Union(it.Rect)
+			}
+			leaves = append(leaves, n)
+		}
+	}
+	return leaves
+}
+
+// packNodes tiles child nodes into parents of up to fanout children.
+func packNodes(children []*node, fanout int) []*node {
+	nParents := (len(children) + fanout - 1) / fanout
+	nSlices := int(math.Ceil(math.Sqrt(float64(nParents))))
+	sliceCap := nSlices * fanout
+
+	sort.Slice(children, func(i, j int) bool {
+		return center(children[i].bounds).X < center(children[j].bounds).X
+	})
+	var parents []*node
+	for s := 0; s < len(children); s += sliceCap {
+		e := s + sliceCap
+		if e > len(children) {
+			e = len(children)
+		}
+		slice := children[s:e]
+		sort.Slice(slice, func(i, j int) bool {
+			return center(slice[i].bounds).Y < center(slice[j].bounds).Y
+		})
+		for i := 0; i < len(slice); i += fanout {
+			j := i + fanout
+			if j > len(slice) {
+				j = len(slice)
+			}
+			n := &node{children: append([]*node(nil), slice[i:j]...), bounds: geom.EmptyRect()}
+			for _, c := range n.children {
+				n.bounds = n.bounds.Union(c.bounds)
+			}
+			parents = append(parents, n)
+		}
+	}
+	return parents
+}
+
+// Len returns the number of indexed items.
+func (t *Tree) Len() int { return t.size }
+
+// Height returns the tree height (1 for a single leaf).
+func (t *Tree) Height() int { return t.height }
+
+// Bounds returns the root bounding rectangle.
+func (t *Tree) Bounds() geom.Rect { return t.root.bounds }
+
+// SearchRect calls fn for every item whose rect intersects q, stopping early
+// when fn returns false.
+func (t *Tree) SearchRect(q geom.Rect, fn func(it Item) bool) {
+	t.root.search(q, fn)
+}
+
+func (n *node) search(q geom.Rect, fn func(it Item) bool) bool {
+	if !n.bounds.Intersects(q) {
+		return true
+	}
+	if n.children == nil {
+		for _, it := range n.items {
+			if it.Rect.Intersects(q) {
+				if !fn(it) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for _, c := range n.children {
+		if !c.search(q, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// SearchPoint calls fn for every item whose rect contains p.
+func (t *Tree) SearchPoint(p geom.Point, fn func(it Item) bool) {
+	t.SearchRect(geom.Rect{Min: p, Max: p}, fn)
+}
+
+// CountRect returns the number of items intersecting q.
+func (t *Tree) CountRect(q geom.Rect) int {
+	n := 0
+	t.SearchRect(q, func(Item) bool { n++; return true })
+	return n
+}
+
+// MemoryBytes estimates the tree footprint.
+func (t *Tree) MemoryBytes() int {
+	var walk func(n *node) int
+	walk = func(n *node) int {
+		b := 56 + 40*len(n.items) + 8*len(n.children)
+		for _, c := range n.children {
+			b += walk(c)
+		}
+		return b
+	}
+	return walk(t.root)
+}

@@ -1,0 +1,110 @@
+package strtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"distbound/internal/geom"
+)
+
+func randomItems(rng *rand.Rand, n int, extent, maxSize float64) []Item {
+	items := make([]Item, n)
+	for i := range items {
+		lo := geom.Pt(rng.Float64()*extent, rng.Float64()*extent)
+		items[i] = Item{
+			Rect: geom.Rect{Min: lo, Max: geom.Pt(lo.X+rng.Float64()*maxSize, lo.Y+rng.Float64()*maxSize)},
+			ID:   int32(i),
+		}
+	}
+	return items
+}
+
+func bruteIntersect(items []Item, q geom.Rect) map[int32]bool {
+	out := map[int32]bool{}
+	for _, it := range items {
+		if it.Rect.Intersects(q) {
+			out[it.ID] = true
+		}
+	}
+	return out
+}
+
+func TestSearchMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	items := randomItems(rng, 10000, 1000, 20)
+	tr := Build(items, 0)
+	if tr.Len() != len(items) {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for trial := 0; trial < 100; trial++ {
+		lo := geom.Pt(rng.Float64()*1000, rng.Float64()*1000)
+		q := geom.Rect{Min: lo, Max: geom.Pt(lo.X+rng.Float64()*100, lo.Y+rng.Float64()*100)}
+		want := bruteIntersect(items, q)
+		got := map[int32]bool{}
+		tr.SearchRect(q, func(it Item) bool { got[it.ID] = true; return true })
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d hits, want %d", trial, len(got), len(want))
+		}
+		for id := range want {
+			if !got[id] {
+				t.Fatalf("trial %d: missing id %d", trial, id)
+			}
+		}
+	}
+}
+
+func TestSearchPoint(t *testing.T) {
+	items := []Item{
+		{Rect: geom.Rect{Min: geom.Pt(0, 0), Max: geom.Pt(10, 10)}, ID: 1},
+		{Rect: geom.Rect{Min: geom.Pt(5, 5), Max: geom.Pt(15, 15)}, ID: 2},
+		{Rect: geom.Rect{Min: geom.Pt(20, 20), Max: geom.Pt(30, 30)}, ID: 3},
+	}
+	tr := Build(items, 4)
+	var got []int32
+	tr.SearchPoint(geom.Pt(7, 7), func(it Item) bool { got = append(got, it.ID); return true })
+	if len(got) != 2 {
+		t.Fatalf("SearchPoint hits = %v", got)
+	}
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	empty := Build(nil, 8)
+	if empty.Len() != 0 || empty.CountRect(geom.Rect{Min: geom.Pt(0, 0), Max: geom.Pt(1, 1)}) != 0 {
+		t.Error("empty tree broken")
+	}
+	single := Build([]Item{{Rect: geom.Rect{Min: geom.Pt(1, 1), Max: geom.Pt(2, 2)}, ID: 7}}, 8)
+	if single.Height() != 1 {
+		t.Errorf("single height = %d", single.Height())
+	}
+	n := 0
+	single.SearchPoint(geom.Pt(1.5, 1.5), func(it Item) bool { n++; return true })
+	if n != 1 {
+		t.Error("single item not found")
+	}
+}
+
+func TestPackingProducesReasonableHeight(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	items := randomItems(rng, 4096, 1000, 5)
+	tr := Build(items, 16)
+	// 4096 items at fanout 16: leaves=256, level2=16, level3=1 → height 3.
+	if tr.Height() != 3 {
+		t.Errorf("height = %d, want 3", tr.Height())
+	}
+	if !tr.Bounds().ContainsRect(items[0].Rect) {
+		t.Error("root bounds do not cover items")
+	}
+}
+
+func TestEarlyStop(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tr := Build(randomItems(rng, 1000, 100, 5), 8)
+	n := 0
+	tr.SearchRect(tr.Bounds(), func(Item) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Errorf("visited %d", n)
+	}
+	if tr.MemoryBytes() <= 0 {
+		t.Error("MemoryBytes must be positive")
+	}
+}

@@ -1,0 +1,167 @@
+package join
+
+import (
+	"fmt"
+
+	"distbound/internal/act"
+	"distbound/internal/geom"
+	"distbound/internal/raster"
+	"distbound/internal/sfc"
+)
+
+// ACTJoiner is the paper's approximate main-memory join (§5.1): every region
+// is approximated by a conservative, distance-bounded hierarchical raster
+// and the cells are indexed in an Adaptive Cell Trie. The join is an
+// index-nested loop over the points with the aggregation fused in — no join
+// result is materialized and no PIP test is ever executed. Every point that
+// is miscounted lies within the distance bound of some region boundary.
+type ACTJoiner struct {
+	trie   *act.CompactTrie
+	domain sfc.Domain
+	curve  sfc.Curve
+	bound  float64
+	numReg int
+	cells  int
+	// boundaryCells counts boundary cells per region for reporting.
+	boundaryCells int
+}
+
+// NewACTJoiner builds the joiner: one HR approximation per region at
+// distance bound eps, all cells inserted into a single trie. Payloads encode
+// (region ID, boundary flag) so that result-range estimation can attribute
+// hits to boundary cells.
+func NewACTJoiner(regions []geom.Region, d sfc.Domain, curve sfc.Curve, eps float64, stride int) (*ACTJoiner, error) {
+	trie, err := act.New(stride)
+	if err != nil {
+		return nil, err
+	}
+	j := &ACTJoiner{domain: d, curve: curve, bound: eps, numReg: len(regions)}
+	for ri, rg := range regions {
+		a, err := raster.Hierarchical(rg, d, curve, eps, raster.Conservative)
+		if err != nil {
+			return nil, err
+		}
+		trie.InsertCells(a.Interior, encodePayload(ri, false))
+		trie.InsertCells(a.Boundary, encodePayload(ri, true))
+		j.cells += a.NumCells()
+		j.boundaryCells += len(a.Boundary)
+	}
+	// Freeze into the read-optimized layout: the joiner only ever reads.
+	j.trie = trie.Compact()
+	return j, nil
+}
+
+// encodePayload packs a region ID and a boundary flag into an int32.
+func encodePayload(region int, boundary bool) int32 {
+	v := int32(region) << 1
+	if boundary {
+		v |= 1
+	}
+	return v
+}
+
+func decodePayload(v int32) (region int, boundary bool) {
+	return int(v >> 1), v&1 == 1
+}
+
+// Bound returns the distance bound the joiner guarantees.
+func (j *ACTJoiner) Bound() float64 { return j.bound }
+
+// NumCells returns the total number of indexed cells.
+func (j *ACTJoiner) NumCells() int { return j.cells }
+
+// MemoryBytes returns the trie footprint — the memory/accuracy trade the
+// paper quantifies for ACT.
+func (j *ACTJoiner) MemoryBytes() int { return j.trie.MemoryBytes() }
+
+// LookupPoint returns the region assigned to p by the approximation, or -1.
+// The first (coarsest) covering cell wins; on partition data a point away
+// from boundaries has exactly one candidate.
+func (j *ACTJoiner) LookupPoint(p geom.Point) int {
+	pos, ok := j.domain.LeafPos(j.curve, p)
+	if !ok {
+		return -1
+	}
+	v := j.trie.LookupFirst(pos)
+	if v < 0 {
+		return -1
+	}
+	region, _ := decodePayload(v)
+	return region
+}
+
+// Aggregate runs the approximate aggregation join: one trie lookup per
+// point, no refinement.
+func (j *ACTJoiner) Aggregate(ps PointSet, agg Agg) (Result, error) {
+	res, _, err := j.aggregate(ps, agg, false)
+	return res, err
+}
+
+// Interval is a guaranteed enclosure of an exact aggregate (§6).
+type Interval struct {
+	Lo, Hi float64
+}
+
+// Contains reports whether v lies in the closed interval.
+func (iv Interval) Contains(v float64) bool { return iv.Lo <= v && v <= iv.Hi }
+
+// AggregateWithRange additionally returns, per region, an interval that is
+// guaranteed to contain the exact aggregate: with a conservative
+// approximation only boundary cells can contribute false positives, so the
+// exact COUNT lies in [α − ε_b, α] where ε_b is the partial count over
+// boundary cells (§6 "Result Range Estimation"). For SUM the same reasoning
+// applies to the boundary partial sum.
+func (j *ACTJoiner) AggregateWithRange(ps PointSet, agg Agg) (Result, []Interval, error) {
+	if agg != Count && agg != Sum {
+		return Result{}, nil, fmt.Errorf("join: result-range estimation applies to COUNT and SUM, not %v", agg)
+	}
+	res, boundary, err := j.aggregate(ps, agg, true)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	ivs := make([]Interval, j.numReg)
+	for i := range ivs {
+		var alpha, eps float64
+		switch agg {
+		case Sum:
+			alpha, eps = res.Sums[i], boundary.Sums[i]
+		default:
+			alpha, eps = float64(res.Counts[i]), float64(boundary.Counts[i])
+		}
+		ivs[i] = Interval{Lo: alpha - eps, Hi: alpha}
+	}
+	return res, ivs, nil
+}
+
+func (j *ACTJoiner) aggregate(ps PointSet, agg Agg, trackBoundary bool) (Result, Result, error) {
+	if err := ps.validate(agg); err != nil {
+		return Result{}, Result{}, err
+	}
+	res := newResult(agg, j.numReg)
+	var boundary Result
+	if trackBoundary {
+		boundary = newResult(agg, j.numReg)
+	}
+	// Visit every covering cell per point: near shared boundaries the
+	// conservative covers of adjacent regions overlap, and counting the
+	// point for each keeps the per-region guarantee "approximate ⊇ exact"
+	// that the result-range interval of §6 relies on. A region's own cells
+	// are disjoint, so a point is counted at most once per region.
+	buf := make([]int32, 0, 4)
+	for i, p := range ps.Pts {
+		pos, ok := j.domain.LeafPos(j.curve, p)
+		if !ok {
+			continue
+		}
+		w := ps.weight(i)
+		buf = j.trie.LookupAppend(pos, buf[:0])
+		for _, v := range buf {
+			region, isBoundary := decodePayload(v)
+			res.add(region, w)
+			if trackBoundary && isBoundary {
+				boundary.add(region, w)
+			}
+		}
+	}
+	return res, boundary, nil
+}

@@ -1,0 +1,120 @@
+package join
+
+import (
+	"math"
+	"testing"
+
+	"distbound/internal/data"
+	"distbound/internal/sfc"
+)
+
+func TestACTAggregateParallelMatchesSequential(t *testing.T) {
+	ps, regions, d := testWorkload(t, 30000)
+	aj, err := NewACTJoiner(regions, d, sfc.Hilbert{}, 32, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, agg := range []Agg{Count, Sum} {
+		seq, err := aj.Aggregate(ps, agg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 3, 8, 0} {
+			par, err := aj.AggregateParallel(ps, agg, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range regions {
+				if par.Counts[i] != seq.Counts[i] {
+					t.Fatalf("%v workers=%d region %d: counts %d vs %d",
+						agg, workers, i, par.Counts[i], seq.Counts[i])
+				}
+				if agg == Sum && math.Abs(par.Sums[i]-seq.Sums[i]) > 1e-6*math.Abs(seq.Sums[i])+1e-9 {
+					t.Fatalf("%v workers=%d region %d: sums differ", agg, workers, i)
+				}
+			}
+		}
+	}
+	// Validation still applies.
+	if _, err := aj.AggregateParallel(PointSet{Pts: ps.Pts}, Sum, 4); err == nil {
+		t.Error("parallel SUM without weights accepted")
+	}
+}
+
+func TestRStarAggregateParallelMatchesSequential(t *testing.T) {
+	ps, regions, _ := testWorkload(t, 20000)
+	rj := NewRStarJoiner(regions, 0)
+	seq, err := rj.Aggregate(ps, Count)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := rj.AggregateParallel(ps, Count, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range regions {
+		if par.Counts[i] != seq.Counts[i] {
+			t.Fatalf("region %d: %d vs %d", i, par.Counts[i], seq.Counts[i])
+		}
+	}
+}
+
+func TestBRJRunParallelMatchesSequential(t *testing.T) {
+	bounds := data.DowntownBounds()
+	pts, weights := data.TaxiPointsIn(9, 20000, bounds)
+	ps := PointSet{Pts: pts, Weights: weights}
+	regions := data.Regions(data.PartitionIn(10, bounds, 4, 4, 3))
+
+	brj := BRJ{Bound: 32, Bounds: bounds, MaxTextureSize: 128} // many tiles
+	seq, s1, err := brj.Run(ps, regions, Sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, s2, err := brj.RunParallel(ps, regions, Sum, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.NumTiles != s2.NumTiles || s1.MaskPixels != s2.MaskPixels {
+		t.Errorf("stats differ: %+v vs %+v", s1, s2)
+	}
+	if s1.NumTiles < 4 {
+		t.Fatalf("expected multi-tile run, got %d", s1.NumTiles)
+	}
+	for i := range regions {
+		if seq.Counts[i] != par.Counts[i] {
+			t.Fatalf("region %d: counts %d vs %d", i, seq.Counts[i], par.Counts[i])
+		}
+		if math.Abs(seq.Sums[i]-par.Sums[i]) > 1e-6*math.Abs(seq.Sums[i])+1e-9 {
+			t.Fatalf("region %d: sums differ", i)
+		}
+	}
+}
+
+func TestShardBounds(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want int
+	}{
+		{10, 3, 3}, {10, 20, 10}, {0, 4, 0}, {7, 1, 1}, {5, 0, 1},
+	}
+	for _, c := range cases {
+		got := shardBounds(c.n, c.k)
+		if len(got) != c.want {
+			t.Errorf("shardBounds(%d,%d) = %d shards, want %d", c.n, c.k, len(got), c.want)
+			continue
+		}
+		// Shards must partition [0, n).
+		prev := 0
+		total := 0
+		for _, s := range got {
+			if s[0] != prev {
+				t.Errorf("shardBounds(%d,%d): gap at %d", c.n, c.k, s[0])
+			}
+			total += s[1] - s[0]
+			prev = s[1]
+		}
+		if total != c.n {
+			t.Errorf("shardBounds(%d,%d): covers %d items", c.n, c.k, total)
+		}
+	}
+}

@@ -1,0 +1,247 @@
+// Package planner implements the query-optimization opportunity of §4: once
+// spatial queries are expressed over distance-bounded raster representations,
+// multiple physical plans answer the same aggregation — the ACT-indexed
+// lookup join, the Bounded Raster Join on canvases, or the classic exact
+// filter-and-refine — and "the optimizer can choose different query plans
+// based on the query parameters, the distance bound ... and the estimated
+// selectivity". This planner estimates each strategy's cost from workload
+// statistics and a calibrated constant model and picks the cheapest.
+package planner
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"distbound/internal/geom"
+)
+
+// Strategy identifies a physical plan for the aggregation query.
+type Strategy int
+
+// Available strategies.
+const (
+	// StrategyExact is the R*-tree filter-and-refine join (exact answers,
+	// no build beyond MBR bulk-loading, PIP cost per candidate).
+	StrategyExact Strategy = iota
+	// StrategyACT is the approximate trie join: expensive distance-bounded
+	// index build, then very cheap repeated evaluation.
+	StrategyACT
+	// StrategyBRJ is the Bounded Raster Join: no pre-computation, cost
+	// proportional to canvas pixels — attractive for one-shot queries at
+	// moderate bounds.
+	StrategyBRJ
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyExact:
+		return "exact(R*)"
+	case StrategyACT:
+		return "act"
+	default:
+		return "brj"
+	}
+}
+
+// Query describes an aggregation workload for planning.
+type Query struct {
+	// NumPoints is the point-set size.
+	NumPoints int
+	// Regions is the region set (GROUP BY side).
+	Regions []geom.Region
+	// Bound is the distance bound ε; ≤ 0 means exact answers are required,
+	// which forces StrategyExact.
+	Bound float64
+	// Repetitions is how many times the same region set will be aggregated
+	// (e.g. one per time slice in a dashboard); index build cost amortizes
+	// over it. 0 means 1.
+	Repetitions int
+	// MaxTextureSize caps BRJ pass size; ≤ 0 selects the default (4096).
+	MaxTextureSize int
+}
+
+// regionStats summarizes the geometry-dependent inputs of the cost model.
+type regionStats struct {
+	count         int
+	meanVertices  float64
+	totalPerim    float64
+	totalBBoxArea float64
+	extent        geom.Rect
+}
+
+func statsOf(regions []geom.Region) regionStats {
+	st := regionStats{count: len(regions), extent: geom.EmptyRect()}
+	var verts int
+	for _, rg := range regions {
+		verts += rg.NumVertices()
+		st.totalBBoxArea += rg.Bounds().Area()
+		st.extent = st.extent.Union(rg.Bounds())
+		st.totalPerim += perimeterOf(rg)
+	}
+	if st.count > 0 {
+		st.meanVertices = float64(verts) / float64(st.count)
+	}
+	return st
+}
+
+func perimeterOf(rg geom.Region) float64 {
+	switch v := rg.(type) {
+	case *geom.Polygon:
+		return v.Perimeter()
+	case *geom.MultiPolygon:
+		var p float64
+		for _, part := range v.Polygons {
+			p += part.Perimeter()
+		}
+		return p
+	default:
+		// Fall back to the bounding-box perimeter for unknown region kinds
+		// (e.g. circles): same order of magnitude.
+		return rg.Bounds().Perimeter()
+	}
+}
+
+// CostModel holds the calibrated per-operation constants (nanoseconds). The
+// defaults were measured on this repository's benchmark suite; Calibrate-
+// style refinement can overwrite them for a new machine.
+type CostModel struct {
+	// TrieLookup is the ACT per-point lookup cost.
+	TrieLookup float64
+	// TrieCellBuild is the per-cell cost of HR rasterization + insertion.
+	TrieCellBuild float64
+	// TreePointQuery is the R*-tree per-point MBR filter cost at moderate
+	// region counts; grows logarithmically with the region count.
+	TreePointQuery float64
+	// PIPPerVertex is the refinement cost per polygon vertex.
+	PIPPerVertex float64
+	// PixelWrite is the per-pixel rasterization/blend/sum cost of BRJ.
+	PixelWrite float64
+	// PointScatter is the per-point cost of rendering points to a canvas.
+	PointScatter float64
+}
+
+// DefaultCostModel returns constants measured on the reference machine
+// (single-threaded Go, ~2.7 GHz server core).
+func DefaultCostModel() CostModel {
+	return CostModel{
+		TrieLookup:     450,
+		TrieCellBuild:  1100,
+		TreePointQuery: 550,
+		PIPPerVertex:   4,
+		PixelWrite:     2.5,
+		PointScatter:   25,
+	}
+}
+
+// Cost is an estimated execution profile in nanoseconds.
+type Cost struct {
+	Build  float64 // one-time preparation
+	PerRun float64 // per repetition
+	Total  float64 // Build + Repetitions × PerRun
+}
+
+// Estimate predicts the cost of running q with strategy s.
+func (m CostModel) Estimate(q Query, s Strategy) Cost {
+	reps := float64(q.Repetitions)
+	if reps < 1 {
+		reps = 1
+	}
+	st := statsOf(q.Regions)
+	n := float64(q.NumPoints)
+
+	var c Cost
+	switch s {
+	case StrategyExact:
+		// Filter: tree descent grows with log(regions); candidates per point
+		// estimated from bbox-area overlap (≥ 1 where regions tile space).
+		logR := math.Log2(float64(st.count) + 2)
+		candidates := 1.0
+		if a := st.extent.Area(); a > 0 {
+			candidates = math.Max(1, st.totalBBoxArea/a)
+		}
+		c.PerRun = n * (m.TreePointQuery*logR/8 + candidates*st.meanVertices*m.PIPPerVertex)
+	case StrategyACT:
+		cellSide := q.Bound / math.Sqrt2
+		if cellSide <= 0 {
+			return Cost{Total: math.Inf(1)}
+		}
+		// Boundary cells ≈ perimeter/side; interiors add a comparable count
+		// under quadtree coalescing.
+		cells := 2 * st.totalPerim / cellSide
+		c.Build = cells * m.TrieCellBuild
+		c.PerRun = n * m.TrieLookup
+	case StrategyBRJ:
+		pixel := q.Bound / math.Sqrt2
+		if pixel <= 0 {
+			return Cost{Total: math.Inf(1)}
+		}
+		maskPixels := st.totalBBoxArea / (pixel * pixel)
+		tilePixels := st.extent.Area() / (pixel * pixel)
+		// Multi-pass tax: clearing/point canvases per tile.
+		maxTex := float64(q.MaxTextureSize)
+		if maxTex <= 0 {
+			maxTex = 4096
+		}
+		side := math.Max(st.extent.Width(), st.extent.Height()) / pixel
+		tiles := math.Max(1, math.Ceil(side/maxTex))
+		c.PerRun = (maskPixels+tilePixels)*m.PixelWrite + n*m.PointScatter + tiles*tiles*1e5
+	}
+	c.Total = c.Build + reps*c.PerRun
+	return c
+}
+
+// Plan is the planner's decision with its considered alternatives.
+type Plan struct {
+	Strategy Strategy
+	Costs    map[Strategy]Cost
+}
+
+// Choose picks the cheapest strategy for q under the model. A non-positive
+// bound forces the exact plan.
+func (m CostModel) Choose(q Query) Plan {
+	p := Plan{Costs: map[Strategy]Cost{}}
+	if q.Bound <= 0 {
+		p.Strategy = StrategyExact
+		p.Costs[StrategyExact] = m.Estimate(q, StrategyExact)
+		return p
+	}
+	best := StrategyExact
+	bestCost := math.Inf(1)
+	for _, s := range []Strategy{StrategyExact, StrategyACT, StrategyBRJ} {
+		c := m.Estimate(q, s)
+		p.Costs[s] = c
+		if c.Total < bestCost {
+			best, bestCost = s, c.Total
+		}
+	}
+	p.Strategy = best
+	return p
+}
+
+// Explain renders the plan comparison for diagnostics.
+func (p Plan) Explain() string {
+	type row struct {
+		s Strategy
+		c Cost
+	}
+	rows := make([]row, 0, len(p.Costs))
+	for s, c := range p.Costs {
+		rows = append(rows, row{s, c})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].c.Total < rows[j].c.Total })
+	out := ""
+	for i, r := range rows {
+		marker := " "
+		if r.s == p.Strategy {
+			marker = "*"
+		}
+		out += fmt.Sprintf("%s %-10s build=%.1fms run=%.1fms total=%.1fms",
+			marker, r.s, r.c.Build/1e6, r.c.PerRun/1e6, r.c.Total/1e6)
+		if i < len(rows)-1 {
+			out += "\n"
+		}
+	}
+	return out
+}

@@ -1,0 +1,105 @@
+package planner
+
+import (
+	"strings"
+	"testing"
+
+	"distbound/internal/data"
+)
+
+func TestChooseArchetypes(t *testing.T) {
+	m := DefaultCostModel()
+	regions := data.Regions(data.Neighborhoods(1))
+
+	// Exact requirement (no bound) forces the exact plan.
+	p := m.Choose(Query{NumPoints: 1_000_000, Regions: regions, Bound: 0})
+	if p.Strategy != StrategyExact {
+		t.Errorf("no bound: chose %v", p.Strategy)
+	}
+
+	// One-shot query at a moderate bound: BRJ needs no build and wins over
+	// paying for an ACT index used once.
+	oneShot := m.Choose(Query{NumPoints: 2_000_000, Regions: regions, Bound: 10, Repetitions: 1})
+	if oneShot.Strategy == StrategyACT {
+		t.Errorf("one-shot: chose ACT despite unamortized build (costs: %v)", oneShot.Costs)
+	}
+
+	// Dashboard workload at a fine bound: thousands of repetitions amortize
+	// the ACT build, and per-run trie lookups beat re-rasterizing a huge
+	// canvas every time (at coarse bounds BRJ legitimately stays cheaper per
+	// run, as Figure 7 shows).
+	repeated := m.Choose(Query{NumPoints: 2_000_000, Regions: regions, Bound: 2, Repetitions: 5000})
+	if repeated.Strategy != StrategyACT {
+		t.Errorf("repeated: chose %v (costs: %v)", repeated.Strategy, repeated.Costs)
+	}
+
+	// Tiny bound: BRJ's canvas explodes quadratically; it must not win
+	// against ACT at high repetitions.
+	tiny := m.Choose(Query{NumPoints: 2_000_000, Regions: regions, Bound: 0.5, Repetitions: 5000})
+	if tiny.Strategy == StrategyBRJ {
+		t.Errorf("tiny bound: chose BRJ (costs: %v)", tiny.Costs)
+	}
+}
+
+func TestEstimateMonotonicity(t *testing.T) {
+	m := DefaultCostModel()
+	regions := data.Regions(data.Neighborhoods(1))
+	base := Query{NumPoints: 1_000_000, Regions: regions, Bound: 10, Repetitions: 1}
+
+	// BRJ cost grows as the bound shrinks.
+	coarse := m.Estimate(base, StrategyBRJ)
+	fine := m.Estimate(Query{NumPoints: base.NumPoints, Regions: regions, Bound: 1, Repetitions: 1}, StrategyBRJ)
+	if fine.Total <= coarse.Total {
+		t.Errorf("BRJ cost did not grow with finer bound: %v vs %v", fine.Total, coarse.Total)
+	}
+
+	// ACT build grows as the bound shrinks; per-run does not.
+	actCoarse := m.Estimate(base, StrategyACT)
+	actFine := m.Estimate(Query{NumPoints: base.NumPoints, Regions: regions, Bound: 1, Repetitions: 1}, StrategyACT)
+	if actFine.Build <= actCoarse.Build {
+		t.Error("ACT build did not grow with finer bound")
+	}
+	if actFine.PerRun != actCoarse.PerRun {
+		t.Error("ACT per-run cost should not depend on the bound")
+	}
+
+	// Exact cost grows with mean vertex count.
+	simple := m.Estimate(Query{NumPoints: 1_000_000, Regions: data.Regions(data.Census(1, 200)), Bound: 10}, StrategyExact)
+	complexQ := m.Estimate(Query{NumPoints: 1_000_000, Regions: data.Regions(data.Boroughs(1)), Bound: 10}, StrategyExact)
+	if complexQ.PerRun <= simple.PerRun {
+		t.Errorf("exact cost did not grow with polygon complexity: %v vs %v", complexQ.PerRun, simple.PerRun)
+	}
+
+	// Infinite cost for approximate strategies without a bound.
+	if c := m.Estimate(Query{NumPoints: 10, Regions: regions, Bound: 0}, StrategyACT); !isInf(c.Total) {
+		t.Error("ACT with zero bound should be infeasible")
+	}
+}
+
+func isInf(v float64) bool { return v > 1e300 }
+
+func TestExplain(t *testing.T) {
+	m := DefaultCostModel()
+	p := m.Choose(Query{NumPoints: 100_000, Regions: data.Regions(data.Census(1, 100)), Bound: 10})
+	out := p.Explain()
+	if !strings.Contains(out, "*") {
+		t.Error("Explain does not mark the chosen plan")
+	}
+	if len(strings.Split(out, "\n")) != 3 {
+		t.Errorf("Explain should list 3 strategies:\n%s", out)
+	}
+	if Strategy(0).String() != "exact(R*)" || StrategyACT.String() != "act" || StrategyBRJ.String() != "brj" {
+		t.Error("strategy names wrong")
+	}
+}
+
+func TestStatsOf(t *testing.T) {
+	regions := data.Regions(data.Census(1, 50))
+	st := statsOf(regions)
+	if st.count != 50 || st.meanVertices < 10 || st.totalPerim <= 0 {
+		t.Errorf("stats implausible: %+v", st)
+	}
+	if !st.extent.ContainsRect(regions[0].Bounds()) {
+		t.Error("extent does not cover regions")
+	}
+}

@@ -1,0 +1,95 @@
+package raster
+
+import (
+	"distbound/internal/geom"
+	"distbound/internal/sfc"
+)
+
+// classifier performs cell-vs-region classification with per-node edge-set
+// pruning: a child cell only needs to consider the boundary edges that
+// intersected its parent. This turns hierarchical rasterization from
+// O(cells × vertices) into roughly O(boundary cells + vertices × levels),
+// which matters for the paper's complex Borough polygons (hundreds of
+// vertices each).
+type classifier struct {
+	domain sfc.Domain
+	curve  sfc.Curve
+	region geom.Region
+	edges  []geom.Segment
+	bounds []geom.Rect
+}
+
+func newClassifier(rg geom.Region, d sfc.Domain, c sfc.Curve) *classifier {
+	cl := &classifier{domain: d, curve: c, region: rg}
+	for _, ring := range regionRings(rg) {
+		for i := range ring {
+			e := ring.Edge(i)
+			cl.edges = append(cl.edges, e)
+			cl.bounds = append(cl.bounds, e.Bounds())
+		}
+	}
+	return cl
+}
+
+// regionRings extracts all boundary rings from the known Region
+// implementations. Unknown implementations yield nil, which callers treat by
+// falling back to Region.RelateRect.
+func regionRings(rg geom.Region) []geom.Ring {
+	switch v := rg.(type) {
+	case *geom.Polygon:
+		return v.Rings()
+	case *geom.MultiPolygon:
+		var out []geom.Ring
+		for _, p := range v.Polygons {
+			out = append(out, p.Rings()...)
+		}
+		return out
+	default:
+		return nil
+	}
+}
+
+// generic reports whether the classifier must fall back to Region.RelateRect
+// because the region's rings are not accessible.
+func (cl *classifier) generic() bool { return cl.edges == nil }
+
+// rootCand returns the initial candidate edge set (all edges).
+func (cl *classifier) rootCand() []int32 {
+	cand := make([]int32, len(cl.edges))
+	for i := range cand {
+		cand[i] = int32(i)
+	}
+	return cand
+}
+
+// relate classifies rect given the parent's candidate edges and returns the
+// child candidate set (the edges that intersect rect), which is only
+// meaningful for RectPartial results.
+func (cl *classifier) relate(rect geom.Rect, cand []int32) (geom.RectRelation, []int32) {
+	if cl.generic() {
+		return cl.region.RelateRect(rect), nil
+	}
+	var sub []int32
+	for _, ei := range cand {
+		if !rect.Intersects(cl.bounds[ei]) {
+			continue
+		}
+		if rect.IntersectsSegment(cl.edges[ei]) {
+			sub = append(sub, ei)
+		}
+	}
+	if len(sub) > 0 {
+		return geom.RectPartial, sub
+	}
+	// No boundary passes through the rect: it is uniformly inside or
+	// outside, decided by one representative point.
+	if cl.region.ContainsPoint(rect.Center()) {
+		return geom.RectInside, nil
+	}
+	return geom.RectOutside, nil
+}
+
+// relateCell classifies a cell ID.
+func (cl *classifier) relateCell(id sfc.CellID, cand []int32) (geom.RectRelation, []int32) {
+	return cl.relate(cl.domain.CellIDRect(cl.curve, id), cand)
+}

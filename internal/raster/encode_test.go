@@ -1,0 +1,101 @@
+package raster
+
+import (
+	"math/rand"
+	"testing"
+
+	"distbound/internal/geom"
+	"distbound/internal/sfc"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	d := mustDomain(t, geom.Pt(-100, 50), 2048)
+	rng := rand.New(rand.NewSource(1))
+	for _, curve := range testCurves {
+		p := randomStar(rng, geom.Pt(900, 1100), 100, 400, 15)
+		a, err := Hierarchical(p, d, curve, 8, Conservative)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := a.Encode()
+		back, err := Decode(data)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", curve.Name(), err)
+		}
+		if back.Domain != a.Domain || back.Curve.Name() != curve.Name() {
+			t.Fatalf("%s: header mismatch", curve.Name())
+		}
+		if len(back.Interior) != len(a.Interior) || len(back.Boundary) != len(a.Boundary) {
+			t.Fatalf("%s: cell counts differ", curve.Name())
+		}
+		if !rangesEqual(back.Ranges(), a.Ranges()) {
+			t.Fatalf("%s: coverage differs after round trip", curve.Name())
+		}
+		// Compactness: varint deltas should be far below 8 bytes per cell.
+		if len(data) > 5*a.NumCells()+100 {
+			t.Errorf("%s: encoding %d bytes for %d cells — not compact", curve.Name(), len(data), a.NumCells())
+		}
+	}
+}
+
+func TestEncodeDecodeEmpty(t *testing.T) {
+	d := mustDomain(t, geom.Pt(0, 0), 64)
+	a := &Approximation{Domain: d, Curve: sfc.Morton{}}
+	back, err := Decode(a.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumCells() != 0 {
+		t.Errorf("empty approximation decoded with %d cells", back.NumCells())
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	d := mustDomain(t, geom.Pt(0, 0), 64)
+	p := geom.MustPolygon(geom.Ring{geom.Pt(10, 10), geom.Pt(50, 10), geom.Pt(50, 50), geom.Pt(10, 50)})
+	a := Uniform(p, d, sfc.Hilbert{}, 5, Conservative)
+	good := a.Encode()
+
+	cases := map[string][]byte{
+		"empty":        {},
+		"bad magic":    []byte("XXXX1234567890"),
+		"truncated":    good[:len(good)/2],
+		"trailing":     append(append([]byte{}, good...), 0x01),
+		"short header": good[:6],
+	}
+	for name, data := range cases {
+		if _, err := Decode(data); err == nil {
+			t.Errorf("%s: decode accepted corrupt input", name)
+		}
+	}
+	// Corrupt the first level byte to an invalid level.
+	bad := append([]byte{}, good...)
+	// Layout: magic(4) + nameLen(1)+name + 24 header bytes + numLevels
+	// varint (1 byte here) + level byte.
+	off := 4 + 1 + len(a.Curve.Name()) + 24 + 1
+	bad[off] = 99
+	if _, err := Decode(bad); err == nil {
+		t.Error("decode accepted invalid level")
+	}
+}
+
+func TestDecodedApproximationUsable(t *testing.T) {
+	// A decoded approximation must answer queries identically.
+	d := mustDomain(t, geom.Pt(0, 0), 1024)
+	rng := rand.New(rand.NewSource(2))
+	p := randomStar(rng, geom.Pt(512, 512), 100, 300, 11)
+	a, err := Hierarchical(p, d, sfc.Hilbert{}, 16, Conservative)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(a.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		pt := geom.Pt(rng.Float64()*1024, rng.Float64()*1024)
+		if a.ContainsPoint(pt) != back.ContainsPoint(pt) {
+			t.Fatalf("containment differs at %v after round trip", pt)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package raster
+
+import (
+	"container/heap"
+	"fmt"
+
+	"distbound/internal/geom"
+	"distbound/internal/sfc"
+)
+
+// Hierarchical computes the hierarchical raster (HR) approximation of a
+// region satisfying the distance bound eps (Figure 1(c), §2.2): interior
+// cells are emitted as coarse as possible, and boundary cells are refined
+// until their diagonal is at most eps, guaranteeing d_H(region, cells) ≤ eps
+// for Conservative mode.
+//
+// The returned approximation's boundary cells all sit at the level
+// Domain.LevelForBound(eps). An error is returned when eps is so small that
+// even MaxLevel cells cannot honor it.
+func Hierarchical(rg geom.Region, d sfc.Domain, curve sfc.Curve, eps float64, mode Mode) (*Approximation, error) {
+	level := d.LevelForBound(eps)
+	if eps > 0 && d.CellDiagonal(level) > eps {
+		return nil, fmt.Errorf("raster: bound %g m needs cells finer than MaxLevel (diagonal %g m)",
+			eps, d.CellDiagonal(sfc.MaxLevel))
+	}
+	return hierarchicalAtLevel(rg, d, curve, level, mode), nil
+}
+
+// HierarchicalAtLevel is Hierarchical with the refinement level given
+// directly instead of derived from a distance bound.
+func HierarchicalAtLevel(rg geom.Region, d sfc.Domain, curve sfc.Curve, level int, mode Mode) *Approximation {
+	return hierarchicalAtLevel(rg, d, curve, level, mode)
+}
+
+func hierarchicalAtLevel(rg geom.Region, d sfc.Domain, curve sfc.Curve, maxLevel int, mode Mode) *Approximation {
+	a := &Approximation{Domain: d, Curve: curve}
+	cl := newClassifier(rg, d, curve)
+
+	var rec func(id sfc.CellID, cand []int32)
+	rec = func(id sfc.CellID, cand []int32) {
+		rel, sub := cl.relateCell(id, cand)
+		switch rel {
+		case geom.RectOutside:
+			return
+		case geom.RectInside:
+			a.Interior = append(a.Interior, id)
+		case geom.RectPartial:
+			if id.Level() >= maxLevel {
+				if mode == Centroid && !rg.ContainsPoint(d.CellIDRect(curve, id).Center()) {
+					return
+				}
+				a.Boundary = append(a.Boundary, id)
+				return
+			}
+			for _, ch := range id.Children() {
+				rec(ch, sub)
+			}
+		}
+	}
+	rec(sfc.FromPosLevel(0, 0), cl.rootCand())
+	sortCells(a.Interior)
+	sortCells(a.Boundary)
+	return a
+}
+
+// coverItem is a priority-queue entry for budgeted covering.
+type coverItem struct {
+	id   sfc.CellID
+	cand []int32
+}
+
+// coverQueue orders partial cells coarsest-first so the budget is spent
+// refining the largest remaining cells.
+type coverQueue []coverItem
+
+func (q coverQueue) Len() int           { return len(q) }
+func (q coverQueue) Less(i, j int) bool { return q[i].id.Level() < q[j].id.Level() }
+func (q coverQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *coverQueue) Push(x any)        { *q = append(*q, x.(coverItem)) }
+func (q *coverQueue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// CoverBudget computes a hierarchical cover of the region using at most
+// maxCells cells: the precision knob of Figure 4, where query polygons are
+// approximated with 32, 128 or 512 cells. The cover is conservative (it
+// contains the region); its achieved distance bound is reported by
+// MaxCellDiagonal and shrinks as the budget grows.
+//
+// The refinement strategy follows the standard region-coverer approach:
+// repeatedly split the coarsest partial cell while the expansion still fits
+// in the budget.
+func CoverBudget(rg geom.Region, d sfc.Domain, curve sfc.Curve, maxCells int) *Approximation {
+	if maxCells < 1 {
+		maxCells = 1
+	}
+	a := &Approximation{Domain: d, Curve: curve}
+	cl := newClassifier(rg, d, curve)
+
+	q := &coverQueue{}
+	push := func(id sfc.CellID, cand []int32) bool {
+		rel, sub := cl.relateCell(id, cand)
+		switch rel {
+		case geom.RectInside:
+			a.Interior = append(a.Interior, id)
+			return true
+		case geom.RectPartial:
+			heap.Push(q, coverItem{id: id, cand: sub})
+			return true
+		}
+		return false
+	}
+	push(sfc.FromPosLevel(0, 0), cl.rootCand())
+
+	for q.Len() > 0 {
+		// Splitting one cell replaces it with up to 4 entries; stop when the
+		// worst case would blow the budget or the cell cannot be refined.
+		if a.NumCells()+q.Len()+3 > maxCells || (*q)[0].id.Level() >= sfc.MaxLevel {
+			break
+		}
+		it := heap.Pop(q).(coverItem)
+		for _, ch := range it.id.Children() {
+			push(ch, it.cand)
+		}
+	}
+	// Remaining partial cells are emitted as boundary cells.
+	for _, it := range *q {
+		a.Boundary = append(a.Boundary, it.id)
+	}
+	sortCells(a.Interior)
+	sortCells(a.Boundary)
+	return a
+}

@@ -1,0 +1,193 @@
+package rs
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func refLowerBound(keys []uint64, k uint64) int {
+	return sort.Search(len(keys), func(i int) bool { return keys[i] >= k })
+}
+
+func sortedKeys(rng *rand.Rand, n int, mod uint64) []uint64 {
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = rng.Uint64() % mod
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func TestEmptyAndTiny(t *testing.T) {
+	r := Build(nil, 0, 0)
+	if r.LowerBound(5) != 0 || r.CountRange(0, 100) != 0 {
+		t.Error("empty index misbehaves")
+	}
+	one := Build([]uint64{42}, 0, 0)
+	if one.LowerBound(41) != 0 || one.LowerBound(42) != 0 || one.LowerBound(43) != 1 {
+		t.Error("single-key lookups wrong")
+	}
+	two := Build([]uint64{10, 20}, 0, 0)
+	for _, k := range []uint64{0, 10, 15, 20, 25} {
+		if got, want := two.LowerBound(k), refLowerBound([]uint64{10, 20}, k); got != want {
+			t.Errorf("LowerBound(%d) = %d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestLowerBoundMatchesBinarySearchUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	keys := sortedKeys(rng, 100000, 1<<50)
+	r := Build(keys, 0, 32)
+	for trial := 0; trial < 5000; trial++ {
+		k := rng.Uint64() % (1 << 50)
+		if got, want := r.LowerBound(k), refLowerBound(keys, k); got != want {
+			t.Fatalf("LowerBound(%d) = %d, want %d", k, got, want)
+		}
+	}
+	// Probe exact keys too.
+	for trial := 0; trial < 2000; trial++ {
+		k := keys[rng.Intn(len(keys))]
+		if got, want := r.LowerBound(k), refLowerBound(keys, k); got != want {
+			t.Fatalf("exact LowerBound(%d) = %d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestLowerBoundSkewedAndDuplicates(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	// Heavy duplicates plus clusters: a hard CDF for the spline.
+	var keys []uint64
+	for c := 0; c < 20; c++ {
+		base := rng.Uint64() % (1 << 40)
+		for i := 0; i < 2000; i++ {
+			keys = append(keys, base+uint64(rng.Intn(50)))
+		}
+	}
+	for i := 0; i < 5000; i++ {
+		keys = append(keys, 77777) // massive duplicate run
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	r := Build(keys, 20, 16)
+	for trial := 0; trial < 3000; trial++ {
+		k := rng.Uint64() % (1 << 41)
+		if got, want := r.LowerBound(k), refLowerBound(keys, k); got != want {
+			t.Fatalf("LowerBound(%d) = %d, want %d", k, got, want)
+		}
+	}
+	if got, want := r.CountRange(77777, 77777), 5000; got != want {
+		t.Errorf("duplicate CountRange = %d, want %d", got, want)
+	}
+}
+
+func TestSequentialKeys(t *testing.T) {
+	keys := make([]uint64, 10000)
+	for i := range keys {
+		keys[i] = uint64(i) * 3
+	}
+	r := Build(keys, 0, 8)
+	// A perfectly linear CDF needs only the two endpoint spline points.
+	if r.NumSplinePoints() > 3 {
+		t.Errorf("linear data produced %d spline points", r.NumSplinePoints())
+	}
+	for k := uint64(0); k < 30050; k += 7 {
+		if got, want := r.LowerBound(k), refLowerBound(keys, k); got != want {
+			t.Fatalf("LowerBound(%d) = %d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestCountRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	keys := sortedKeys(rng, 50000, 1<<30)
+	r := Build(keys, 0, 32)
+	for trial := 0; trial < 1000; trial++ {
+		lo := rng.Uint64() % (1 << 30)
+		hi := lo + rng.Uint64()%(1<<20)
+		want := refLowerBound(keys, hi+1) - refLowerBound(keys, lo)
+		if got := r.CountRange(lo, hi); got != want {
+			t.Fatalf("CountRange(%d,%d) = %d, want %d", lo, hi, got, want)
+		}
+	}
+	if r.CountRange(10, 5) != 0 {
+		t.Error("inverted range not zero")
+	}
+}
+
+func TestMaxKeyBoundary(t *testing.T) {
+	keys := []uint64{0, 1, ^uint64(0) - 1, ^uint64(0)}
+	r := Build(keys, 0, 4)
+	if got := r.UpperBound(^uint64(0)); got != 4 {
+		t.Errorf("UpperBound(max) = %d", got)
+	}
+	if got := r.CountRange(0, ^uint64(0)); got != 4 {
+		t.Errorf("full range = %d", got)
+	}
+	if got := r.LowerBound(^uint64(0)); got != 3 {
+		t.Errorf("LowerBound(max) = %d", got)
+	}
+}
+
+func TestSplineErrorRespected(t *testing.T) {
+	// The prediction error for present keys must be within the configured
+	// corridor (plus interpolation rounding).
+	rng := rand.New(rand.NewSource(4))
+	keys := sortedKeys(rng, 200000, 1<<55)
+	for _, maxErr := range []int{4, 32, 256} {
+		r := Build(keys, 0, maxErr)
+		worst := 0
+		for trial := 0; trial < 5000; trial++ {
+			i := rng.Intn(len(keys))
+			k := keys[i]
+			est := r.predict(k)
+			want := refLowerBound(keys, k)
+			diff := est - want
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > worst {
+				worst = diff
+			}
+		}
+		if worst > maxErr+1 {
+			t.Errorf("maxErr=%d: observed prediction error %d", maxErr, worst)
+		}
+		t.Logf("maxErr=%d: spline points=%d, worst observed error=%d", maxErr, r.NumSplinePoints(), worst)
+	}
+}
+
+func TestSplineSizeShrinksWithError(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	keys := sortedKeys(rng, 100000, 1<<50)
+	small := Build(keys, 0, 4).NumSplinePoints()
+	large := Build(keys, 0, 128).NumSplinePoints()
+	if large >= small {
+		t.Errorf("spline did not shrink: err=4 → %d points, err=128 → %d points", small, large)
+	}
+}
+
+func TestQuickAgainstReference(t *testing.T) {
+	f := func(raw []uint64, probe uint64) bool {
+		sort.Slice(raw, func(i, j int) bool { return raw[i] < raw[j] })
+		r := Build(raw, 12, 8)
+		return r.LowerBound(probe) == refLowerBound(raw, probe)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMemoryBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	keys := sortedKeys(rng, 10000, 1<<40)
+	r := Build(keys, 16, 32)
+	if r.MemoryBytes() <= 0 {
+		t.Error("MemoryBytes must be positive")
+	}
+	// The index must be far smaller than the key column itself.
+	if r.MemoryBytes() > 8*len(keys) {
+		t.Errorf("index (%d B) larger than data (%d B)", r.MemoryBytes(), 8*len(keys))
+	}
+}

@@ -1,0 +1,229 @@
+// Package sfc implements the dimensionality-reduction layer of §3 of the
+// paper: 2D raster cells are enumerated with a space-filling curve (Z-order
+// or Hilbert) and addressed by 64-bit hierarchical cell identifiers, so that
+// cells at any level map to contiguous ranges of fine-grained curve
+// positions. Indexes then operate on a one-dimensional key space.
+package sfc
+
+// MaxLevel is the finest grid level. A level-L grid has 2^L × 2^L cells, so
+// curve positions at MaxLevel use 2*MaxLevel = 60 bits and hierarchical cell
+// IDs (with their sentinel bit) fit in 61 bits.
+const MaxLevel = 30
+
+// Curve enumerates the cells of a 2^level × 2^level grid. Implementations
+// must be hierarchical: the position of a cell at level L is the position of
+// any of its descendants at level L' > L shifted right by 2*(L'-L). This
+// prefix property is what makes a cell at any level a contiguous range of
+// leaf positions, and it is property-tested for both implementations.
+type Curve interface {
+	// Encode returns the curve position of cell (x, y) on the level grid.
+	// x and y must be < 2^level.
+	Encode(level int, x, y uint32) uint64
+	// Decode returns the cell coordinates for a curve position on the level
+	// grid.
+	Decode(level int, pos uint64) (x, y uint32)
+	// Name identifies the curve ("morton" or "hilbert").
+	Name() string
+}
+
+// Morton is the Z-order curve: positions interleave the bits of x and y.
+type Morton struct{}
+
+// Name implements Curve.
+func (Morton) Name() string { return "morton" }
+
+// spread distributes the low 32 bits of v into the even bit positions.
+func spread(v uint32) uint64 {
+	x := uint64(v)
+	x = (x | x<<16) & 0x0000FFFF0000FFFF
+	x = (x | x<<8) & 0x00FF00FF00FF00FF
+	x = (x | x<<4) & 0x0F0F0F0F0F0F0F0F
+	x = (x | x<<2) & 0x3333333333333333
+	x = (x | x<<1) & 0x5555555555555555
+	return x
+}
+
+// compact inverts spread.
+func compact(v uint64) uint32 {
+	x := v & 0x5555555555555555
+	x = (x | x>>1) & 0x3333333333333333
+	x = (x | x>>2) & 0x0F0F0F0F0F0F0F0F
+	x = (x | x>>4) & 0x00FF00FF00FF00FF
+	x = (x | x>>8) & 0x0000FFFF0000FFFF
+	x = (x | x>>16) & 0x00000000FFFFFFFF
+	return uint32(x)
+}
+
+// Encode implements Curve.
+func (Morton) Encode(_ int, x, y uint32) uint64 {
+	return spread(x) | spread(y)<<1
+}
+
+// Decode implements Curve.
+func (Morton) Decode(_ int, pos uint64) (x, y uint32) {
+	return compact(pos), compact(pos >> 1)
+}
+
+// Hilbert is the Hilbert curve: positions follow the recursive U-shaped
+// traversal, giving better locality (fewer range fragments per region cover)
+// than Z-order at the cost of a slightly more expensive encode.
+//
+// Encode/Decode run a precomputed orientation state machine (one table
+// lookup per level); hilbertEncodeRef is the textbook rotate-and-flip
+// formulation kept as the test oracle.
+type Hilbert struct{}
+
+// Name implements Curve.
+func (Hilbert) Name() string { return "hilbert" }
+
+// Encode implements Curve.
+func (Hilbert) Encode(level int, x, y uint32) uint64 {
+	var d uint64
+	st := uint8(0)
+	for i := level - 1; i >= 0; i-- {
+		rawq := (x>>uint(i)&1)<<1 | (y >> uint(i) & 1)
+		d = d<<2 | uint64(hilbertEncDigit[st][rawq])
+		st = hilbertEncNext[st][rawq]
+	}
+	return d
+}
+
+// Decode implements Curve.
+func (Hilbert) Decode(level int, pos uint64) (x, y uint32) {
+	st := uint8(0)
+	for i := level - 1; i >= 0; i-- {
+		digit := pos >> (2 * uint(i)) & 3
+		rawq := hilbertDecBits[st][digit]
+		x = x<<1 | uint32(rawq>>1)
+		y = y<<1 | uint32(rawq&1)
+		st = hilbertDecNext[st][digit]
+	}
+	return x, y
+}
+
+// hilbertEncodeRef is the classic per-level rotate/flip Hilbert encoding
+// (Wikipedia's xy2d), used to derive and verify the state tables.
+func hilbertEncodeRef(level int, x, y uint32) uint64 {
+	var d uint64
+	for s := uint32(1) << (uint(level) - 1); s > 0; s >>= 1 {
+		var rx, ry uint32
+		if x&s > 0 {
+			rx = 1
+		}
+		if y&s > 0 {
+			ry = 1
+		}
+		d += uint64(s) * uint64(s) * uint64((3*rx)^ry)
+		x, y = hilbertRot(s, x, y, rx, ry)
+	}
+	return d
+}
+
+// hilbertDecodeRef is the classic d2xy inverse.
+func hilbertDecodeRef(level int, pos uint64) (x, y uint32) {
+	t := pos
+	for s := uint32(1); s < uint32(1)<<uint(level); s <<= 1 {
+		rx := uint32(t>>1) & 1
+		ry := uint32(t^uint64(rx)) & 1
+		x, y = hilbertRot(s, x, y, rx, ry)
+		x += s * rx
+		y += s * ry
+		t >>= 2
+	}
+	return x, y
+}
+
+// hilbertRot rotates/reflects the quadrant-local coordinates.
+func hilbertRot(s, x, y, rx, ry uint32) (uint32, uint32) {
+	if ry == 0 {
+		if rx == 1 {
+			x = s - 1 - x
+			y = s - 1 - y
+		}
+		x, y = y, x
+	}
+	return x, y
+}
+
+// State tables for the fast Hilbert codec. A state is the accumulated
+// coordinate transformation of the reference algorithm, represented as a
+// permutation of the four quadrant bit-pairs; the tables are derived at init
+// by composing the reference algorithm's per-quadrant updates, so the two
+// implementations agree by construction.
+var (
+	hilbertEncDigit [8][4]uint8
+	hilbertEncNext  [8][4]uint8
+	hilbertDecBits  [8][4]uint8
+	hilbertDecNext  [8][4]uint8
+)
+
+func init() {
+	// Quadrant permutations for the two reference updates (acting on
+	// q = bx<<1|by):
+	//	swap (x,y)→(y,x):                 00→00 01→10 10→01 11→11
+	//	flip+swap (x,y)→(s-1-y, s-1-x):   00→11 01→01 10→10 11→00
+	swapPerm := [4]uint8{0, 2, 1, 3}
+	flipSwapPerm := [4]uint8{3, 1, 2, 0}
+	identity := [4]uint8{0, 1, 2, 3}
+
+	compose := func(outer, inner [4]uint8) [4]uint8 { // outer ∘ inner
+		var out [4]uint8
+		for q := range out {
+			out[q] = outer[inner[q]]
+		}
+		return out
+	}
+
+	// Enumerate reachable states (permutations) breadth-first from the
+	// identity, assigning stable indices.
+	states := [][4]uint8{identity}
+	indexOf := func(p [4]uint8) int {
+		for i, s := range states {
+			if s == p {
+				return i
+			}
+		}
+		states = append(states, p)
+		return len(states) - 1
+	}
+
+	for si := 0; si < len(states); si++ {
+		perm := states[si]
+		for rawq := 0; rawq < 4; rawq++ {
+			tq := perm[rawq]
+			rx, ry := tq>>1, tq&1
+			digit := (3 * rx) ^ ry
+			// Update per the reference: ry==1 → no-op; ry==0 → swap or
+			// flip+swap depending on rx. The update applies to subsequent
+			// (already transformed) bits, so it composes on the outside.
+			next := perm
+			if ry == 0 {
+				if rx == 1 {
+					next = compose(flipSwapPerm, perm)
+				} else {
+					next = compose(swapPerm, perm)
+				}
+			}
+			ni := indexOf(next)
+			if si >= len(hilbertEncDigit) || ni >= len(hilbertEncDigit) {
+				panic("sfc: hilbert state space larger than expected")
+			}
+			hilbertEncDigit[si][rawq] = digit
+			hilbertEncNext[si][rawq] = uint8(ni)
+			hilbertDecBits[si][digit] = uint8(rawq)
+			hilbertDecNext[si][digit] = uint8(ni)
+		}
+	}
+}
+
+// CurveByName returns the curve registered under name, or nil if unknown.
+func CurveByName(name string) Curve {
+	switch name {
+	case "morton":
+		return Morton{}
+	case "hilbert":
+		return Hilbert{}
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,70 @@
+package sfc
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestHilbertTablesMatchReference cross-checks the table-driven codec
+// against the textbook rotate/flip formulation it was derived from.
+func TestHilbertTablesMatchReference(t *testing.T) {
+	h := Hilbert{}
+	// Exhaustive at small levels.
+	for level := 1; level <= 5; level++ {
+		n := uint32(1) << uint(level)
+		for x := uint32(0); x < n; x++ {
+			for y := uint32(0); y < n; y++ {
+				want := hilbertEncodeRef(level, x, y)
+				if got := h.Encode(level, x, y); got != want {
+					t.Fatalf("L%d Encode(%d,%d) = %d, want %d", level, x, y, got, want)
+				}
+				gx, gy := h.Decode(level, want)
+				wx, wy := hilbertDecodeRef(level, want)
+				if gx != wx || gy != wy {
+					t.Fatalf("L%d Decode(%d) = (%d,%d), want (%d,%d)", level, want, gx, gy, wx, wy)
+				}
+			}
+		}
+	}
+	// Randomized at full depth.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		level := 1 + rng.Intn(MaxLevel)
+		n := uint32(1) << uint(level)
+		x, y := rng.Uint32()%n, rng.Uint32()%n
+		want := hilbertEncodeRef(level, x, y)
+		if got := h.Encode(level, x, y); got != want {
+			t.Fatalf("L%d Encode(%d,%d) = %d, want %d", level, x, y, got, want)
+		}
+		gx, gy := h.Decode(level, want)
+		if gx != x || gy != y {
+			t.Fatalf("L%d Decode(%d) = (%d,%d), want (%d,%d)", level, want, gx, gy, x, y)
+		}
+	}
+}
+
+func BenchmarkHilbertEncode(b *testing.B) {
+	h := Hilbert{}
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += h.Encode(MaxLevel, uint32(i)*2654435761, uint32(i)*40503)
+	}
+	_ = sink
+}
+
+func BenchmarkHilbertEncodeRef(b *testing.B) {
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += hilbertEncodeRef(MaxLevel, uint32(i)*2654435761, uint32(i)*40503)
+	}
+	_ = sink
+}
+
+func BenchmarkMortonEncode(b *testing.B) {
+	m := Morton{}
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += m.Encode(MaxLevel, uint32(i)*2654435761, uint32(i)*40503)
+	}
+	_ = sink
+}

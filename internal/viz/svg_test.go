@@ -1,0 +1,118 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"distbound/internal/canvas"
+	"distbound/internal/geom"
+	"distbound/internal/raster"
+	"distbound/internal/sfc"
+)
+
+func testPolygon() *geom.Polygon {
+	return geom.MustPolygon(
+		geom.Ring{geom.Pt(10, 10), geom.Pt(90, 20), geom.Pt(80, 90), geom.Pt(20, 80)},
+		geom.Ring{geom.Pt(40, 40), geom.Pt(60, 40), geom.Pt(60, 60), geom.Pt(40, 60)},
+	)
+}
+
+func TestSVGDocumentStructure(t *testing.T) {
+	p := testPolygon()
+	s := New(p.Bounds().Expand(5), 400)
+	s.AddPolygon(p, Style{Fill: "#cde", Stroke: "#235", StrokeWidth: 1})
+	s.AddRect(p.Bounds(), Style{Stroke: "red", StrokeWidth: 0.5})
+	s.AddPoints([]geom.Point{geom.Pt(50, 50), geom.Pt(30, 30)}, 2, Style{Fill: "black"})
+	out := s.String()
+
+	for _, want := range []string{
+		"<svg xmlns", "</svg>", "<path", "evenodd", "<rect", "<circle",
+		`fill="#cde"`, `stroke="red"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// Two rings → two Z closures in the path.
+	if strings.Count(out, "Z") != 2 {
+		t.Errorf("path closures = %d, want 2", strings.Count(out, "Z"))
+	}
+}
+
+func TestSVGApproximationLayers(t *testing.T) {
+	p := testPolygon()
+	d, err := sfc.NewDomain(geom.Pt(0, 0), 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := raster.Hierarchical(p, d, sfc.Hilbert{}, 4, raster.Conservative)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(d.Bounds(), 512)
+	s.AddApproximation(a, Style{Fill: "#9c9"}, Style{Fill: "#c9c"})
+	out := s.String()
+	// One rect per cell plus the two group wrappers.
+	if got := strings.Count(out, "<rect"); got != a.NumCells() {
+		t.Errorf("rect count = %d, want %d cells", got, a.NumCells())
+	}
+	if strings.Count(out, "<g") != 2 {
+		t.Error("expected two cell groups (interior + boundary)")
+	}
+}
+
+func TestSVGCanvasHeat(t *testing.T) {
+	g := canvas.Grid{Origin: geom.Pt(0, 0), PixelSize: 10}
+	c, err := canvas.NewCanvas(g, 0, 0, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Set(1, 1, 5)
+	c.Set(2, 3, 50)
+	s := New(c.Bounds(), 200)
+	s.AddCanvasHeat(c, "#f40")
+	out := s.String()
+	if got := strings.Count(out, "<rect"); got != 2 {
+		t.Errorf("heat rects = %d, want 2 (non-empty pixels only)", got)
+	}
+	if !strings.Contains(out, `opacity="1.000"`) {
+		t.Error("max pixel should have full opacity")
+	}
+	// Empty canvas adds nothing.
+	empty, _ := canvas.NewCanvas(g, 0, 0, 2, 2)
+	s2 := New(empty.Bounds(), 100)
+	s2.AddCanvasHeat(empty, "#000")
+	if strings.Contains(s2.String(), "<rect") {
+		t.Error("empty canvas produced rects")
+	}
+}
+
+func TestSVGCoordinateFlip(t *testing.T) {
+	// A point at the top of the extent must land near SVG y=0.
+	s := New(geom.Rect{Min: geom.Pt(0, 0), Max: geom.Pt(100, 100)}, 100)
+	s.AddPoints([]geom.Point{geom.Pt(50, 100)}, 1, Style{Fill: "k"})
+	if !strings.Contains(s.String(), `cy="0.00"`) {
+		t.Errorf("top point not at SVG y=0:\n%s", s.String())
+	}
+	// MultiPolygon and fallback regions draw without panicking.
+	m := geom.NewMultiPolygon(testPolygon())
+	s.AddRegion(m, Style{Fill: "a"})
+	s.AddRegion(geom.Circle{Center: geom.Pt(50, 50), Radius: 10}, Style{Fill: "b"})
+	if s.String() == "" {
+		t.Error("render failed")
+	}
+}
+
+func TestSVGDefaults(t *testing.T) {
+	s := New(geom.Rect{Min: geom.Pt(0, 0), Max: geom.Pt(10, 20)}, 0)
+	if s.width != 800 {
+		t.Errorf("default width = %d", s.width)
+	}
+	if s.height() != 1600 {
+		t.Errorf("aspect-derived height = %d, want 1600", s.height())
+	}
+	st := Style{Opacity: 0.5}
+	if !strings.Contains(st.attrs(), `opacity="0.5"`) || !strings.Contains(st.attrs(), `fill="none"`) {
+		t.Errorf("style attrs = %s", st.attrs())
+	}
+}
