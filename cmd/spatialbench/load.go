@@ -1,0 +1,292 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"distbound"
+	"distbound/internal/data"
+)
+
+// loadConfig parameterizes the -concurrency serving benchmark: N client
+// goroutines drive one shared Engine with mixed-bound queries and the run
+// reports throughput and latency percentiles — the serving-layer complement
+// of the paper-reproduction experiments.
+type loadConfig struct {
+	seed        int64
+	numPoints   int
+	censusCount int
+	concurrency int
+	duration    time.Duration
+	bounds      []float64
+	agg         distbound.Agg
+	repetitions int
+	batch       int
+	workers     int
+	queryPoints int
+}
+
+// parseBounds parses a comma-separated bound list ("0,16,64").
+func parseBounds(s string) ([]float64, error) {
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad bound %q: %w", f, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// parseAgg maps an aggregate name to its Agg.
+func parseAgg(s string) (distbound.Agg, error) {
+	switch strings.ToLower(s) {
+	case "count":
+		return distbound.Count, nil
+	case "sum":
+		return distbound.Sum, nil
+	case "avg":
+		return distbound.Avg, nil
+	case "min":
+		return distbound.Min, nil
+	case "max":
+		return distbound.Max, nil
+	default:
+		return 0, fmt.Errorf("unknown aggregate %q", s)
+	}
+}
+
+// querySlice is one client query: a contiguous window of the point pool,
+// simulating per-tenant or per-time-slice subsets.
+func (cfg loadConfig) querySlice(ps distbound.PointSet, rng *rand.Rand) distbound.PointSet {
+	n := cfg.queryPoints
+	if n <= 0 || n >= len(ps.Pts) {
+		return ps
+	}
+	off := rng.Intn(len(ps.Pts) - n + 1)
+	out := distbound.PointSet{Pts: ps.Pts[off : off+n]}
+	if ps.Weights != nil {
+		out.Weights = ps.Weights[off : off+n]
+	}
+	return out
+}
+
+// verifyPaths checks, per bound, that the sequential, parallel and batched
+// execution paths return identical counts on one shared warm engine.
+func verifyPaths(e *distbound.Engine, ps distbound.PointSet, cfg loadConfig) error {
+	for _, bound := range cfg.bounds {
+		// Warm twice so caches and plans are stable before comparing.
+		for i := 0; i < 2; i++ {
+			if _, _, err := e.Aggregate(ps, cfg.agg, bound, cfg.repetitions); err != nil {
+				return fmt.Errorf("warmup bound %g: %w", bound, err)
+			}
+		}
+		e.SetWorkers(1)
+		seq, seqStrat, err := e.Aggregate(ps, cfg.agg, bound, cfg.repetitions)
+		if err != nil {
+			return fmt.Errorf("sequential bound %g: %w", bound, err)
+		}
+		e.SetWorkers(0)
+		par, parStrat, err := e.Aggregate(ps, cfg.agg, bound, cfg.repetitions)
+		if err != nil {
+			return fmt.Errorf("parallel bound %g: %w", bound, err)
+		}
+		// A single-query batch earns no same-bound sharing credit, so it
+		// plans with exactly the same effective repetitions as the
+		// sequential call — count equality compares like with like for any
+		// -reps value, including 1.
+		batch := e.AggregateBatch([]distbound.BatchQuery{
+			{Points: ps, Agg: cfg.agg, Bound: bound, Repetitions: cfg.repetitions},
+		}, 1)
+		for i, r := range batch {
+			if r.Err != nil {
+				return fmt.Errorf("batched bound %g query %d: %w", bound, i, r.Err)
+			}
+		}
+		if seqStrat != parStrat {
+			return fmt.Errorf("bound %g: strategy drifted between sequential (%v) and parallel (%v)",
+				bound, seqStrat, parStrat)
+		}
+		// Count equality is only promised plan-for-plan; with identical
+		// effective repetitions and warm caches, the batch must plan the
+		// sequential strategy — anything else is a real planning bug.
+		if batch[0].Strategy != seqStrat {
+			return fmt.Errorf("bound %g: batched query planned %v, sequential planned %v",
+				bound, batch[0].Strategy, seqStrat)
+		}
+		for ri := range seq.Counts {
+			if seq.Counts[ri] != par.Counts[ri] {
+				return fmt.Errorf("bound %g region %d: parallel count %d != sequential %d",
+					bound, ri, par.Counts[ri], seq.Counts[ri])
+			}
+			if err := valuesMatch(cfg.agg, seq, par, ri); err != nil {
+				return fmt.Errorf("bound %g region %d parallel: %w", bound, ri, err)
+			}
+			if batch[0].Result.Counts[ri] != seq.Counts[ri] {
+				return fmt.Errorf("bound %g region %d: batched count %d != sequential %d",
+					bound, ri, batch[0].Result.Counts[ri], seq.Counts[ri])
+			}
+			if err := valuesMatch(cfg.agg, seq, batch[0].Result, ri); err != nil {
+				return fmt.Errorf("bound %g region %d batched: %w", bound, ri, err)
+			}
+		}
+	}
+	return nil
+}
+
+// valuesMatch compares one region's aggregate value between execution
+// paths. MIN/MAX extremes merge without float reassociation, so they must
+// match exactly; SUM/AVG differ only by the order additions associate, so
+// they get a tight relative tolerance.
+func valuesMatch(agg distbound.Agg, want, got distbound.Result, ri int) error {
+	w, g := want.Value(ri), got.Value(ri)
+	switch agg {
+	case distbound.Sum, distbound.Avg:
+		tol := 1e-9 * math.Max(math.Abs(w), 1)
+		if math.Abs(g-w) > tol {
+			return fmt.Errorf("value %g != %g beyond reassociation tolerance", g, w)
+		}
+	default:
+		if g != w {
+			return fmt.Errorf("value %g != %g", g, w)
+		}
+	}
+	return nil
+}
+
+// runLoad executes the concurrent load benchmark.
+func runLoad(cfg loadConfig) error {
+	fmt.Printf("load mode: %d clients, %v, %d-point pool, %d regions, bounds %v, agg %v, batch %d\n",
+		cfg.concurrency, cfg.duration, cfg.numPoints, cfg.censusCount, cfg.bounds, cfg.agg, cfg.batch)
+
+	pts, weights := data.TaxiPoints(cfg.seed, cfg.numPoints)
+	pool := distbound.PointSet{Pts: pts, Weights: weights}
+	regions := data.Regions(data.Census(cfg.seed+1, cfg.censusCount))
+	e := distbound.NewEngine(regions)
+
+	verifyStart := time.Now()
+	if err := verifyPaths(e, cfg.querySlice(pool, rand.New(rand.NewSource(cfg.seed))), cfg); err != nil {
+		return fmt.Errorf("verification failed: %w", err)
+	}
+	fmt.Printf("verification: counts and values agree across sequential, parallel and batched paths (%v)\n",
+		time.Since(verifyStart).Round(time.Millisecond))
+
+	e.SetWorkers(cfg.workers)
+
+	type clientStats struct {
+		latencies  []time.Duration
+		strategies map[distbound.Strategy]int
+	}
+	stats := make([]clientStats, cfg.concurrency)
+	clientErrs := make([]error, cfg.concurrency)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	deadline := time.Now().Add(cfg.duration)
+
+	for c := 0; c < cfg.concurrency; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.seed + int64(c)*7919))
+			st := clientStats{strategies: map[distbound.Strategy]int{}}
+			// Keep whatever the client completed even if it aborts on an
+			// error; the run then still reports honest partial numbers
+			// alongside the failure.
+			defer func() { stats[c] = st }()
+			<-start
+			for i := 0; time.Now().Before(deadline); i++ {
+				if cfg.batch > 0 {
+					queries := make([]distbound.BatchQuery, cfg.batch)
+					for q := range queries {
+						queries[q] = distbound.BatchQuery{
+							Points:      cfg.querySlice(pool, rng),
+							Agg:         cfg.agg,
+							Bound:       cfg.bounds[(c+i+q)%len(cfg.bounds)],
+							Repetitions: cfg.repetitions,
+						}
+					}
+					t0 := time.Now()
+					results := e.AggregateBatch(queries, cfg.workers)
+					el := time.Since(t0)
+					for _, r := range results {
+						if r.Err != nil {
+							clientErrs[c] = r.Err
+							return
+						}
+						// Per-query latency inside a batch is the batch
+						// latency: callers wait for the whole batch.
+						st.latencies = append(st.latencies, el)
+						st.strategies[r.Strategy]++
+					}
+				} else {
+					bound := cfg.bounds[(c+i)%len(cfg.bounds)]
+					ps := cfg.querySlice(pool, rng)
+					t0 := time.Now()
+					_, strat, err := e.Aggregate(ps, cfg.agg, bound, cfg.repetitions)
+					if err != nil {
+						clientErrs[c] = err
+						return
+					}
+					st.latencies = append(st.latencies, time.Since(t0))
+					st.strategies[strat]++
+				}
+			}
+		}(c)
+	}
+	close(start)
+	t0 := time.Now()
+	wg.Wait()
+	elapsed := time.Since(t0)
+
+	var all []time.Duration
+	strategies := map[distbound.Strategy]int{}
+	for _, st := range stats {
+		all = append(all, st.latencies...)
+		for s, n := range st.strategies {
+			strategies[s] += n
+		}
+	}
+	if len(all) == 0 {
+		for c, err := range clientErrs {
+			if err != nil {
+				return fmt.Errorf("no queries completed; client %d: %w", c, err)
+			}
+		}
+		return fmt.Errorf("no queries completed")
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) time.Duration {
+		i := int(p * float64(len(all)-1))
+		return all[i]
+	}
+
+	fmt.Printf("\ncompleted %d queries in %v across %d clients\n", len(all), elapsed.Round(time.Millisecond), cfg.concurrency)
+	fmt.Printf("throughput: %.1f queries/s\n", float64(len(all))/elapsed.Seconds())
+	fmt.Printf("latency: p50=%v p90=%v p99=%v max=%v\n",
+		pct(0.50).Round(time.Microsecond), pct(0.90).Round(time.Microsecond),
+		pct(0.99).Round(time.Microsecond), all[len(all)-1].Round(time.Microsecond))
+	fmt.Printf("strategies:")
+	for _, s := range []distbound.Strategy{distbound.StrategyExact, distbound.StrategyACT, distbound.StrategyBRJ} {
+		if n := strategies[s]; n > 0 {
+			fmt.Printf(" %v=%d", s, n)
+		}
+	}
+	fmt.Println()
+	actStats, brjStats := e.CacheStats()
+	fmt.Printf("index caches: act{hits=%d builds=%d coalesced=%d evictions=%d} brj{hits=%d builds=%d coalesced=%d evictions=%d}\n",
+		actStats.Hits, actStats.Builds, actStats.Coalesced, actStats.Evictions,
+		brjStats.Hits, brjStats.Builds, brjStats.Coalesced, brjStats.Evictions)
+	for c, err := range clientErrs {
+		if err != nil {
+			return fmt.Errorf("client %d aborted: %w (numbers above are partial)", c, err)
+		}
+	}
+	return nil
+}

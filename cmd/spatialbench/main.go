@@ -1,13 +1,23 @@
 // Command spatialbench regenerates every table and figure of the paper's
-// evaluation on the synthetic workloads.
+// evaluation on the synthetic workloads, and doubles as a load generator
+// for the concurrent serving engine.
 //
 // Usage:
 //
 //	spatialbench -experiment all                    # everything, default scale
 //	spatialbench -experiment fig6 -points 10000000  # one figure, more points
 //	spatialbench -experiment fig4a -quick           # fast smoke run
+//	spatialbench -concurrency 16 -duration 10s      # engine load benchmark
+//	spatialbench -concurrency 8 -batch 32           # batched serving mode
 //
 // Experiments: fig4a, fig4b, fig6, mem, fig7, ablapprox, ablcurve, all.
+//
+// With -concurrency N > 0 the experiment flags are ignored: N client
+// goroutines drive one shared Engine with mixed-bound queries for
+// -duration, after first verifying that the sequential, parallel and
+// batched execution paths return identical counts. The run reports
+// throughput, p50/p90/p99 latency, the strategy mix and index-cache
+// behavior.
 package main
 
 import (
@@ -26,8 +36,48 @@ func main() {
 		census     = flag.Int("census", 2_000, "census polygon count (paper: 39,200)")
 		seed       = flag.Int64("seed", 1, "synthetic data seed")
 		quick      = flag.Bool("quick", false, "shrink workloads for a fast smoke run")
+
+		concurrency = flag.Int("concurrency", 0, "load mode: client goroutines driving one shared engine (0 = run experiments)")
+		duration    = flag.Duration("duration", 5*time.Second, "load mode: how long to drive the engine")
+		boundsFlag  = flag.String("bounds", "0,16,32,64", "load mode: comma-separated distance bounds cycled across queries (0 = exact)")
+		aggFlag     = flag.String("agg", "count", "load mode: aggregate (count, sum, avg, min, max)")
+		reps        = flag.Int("reps", 1000, "load mode: repetitions hint passed to the planner")
+		batch       = flag.Int("batch", 0, "load mode: issue AggregateBatch calls of this size instead of single queries")
+		workers     = flag.Int("workers", 1, "load mode: intra-query worker count, or batch-pool size with -batch (0 = GOMAXPROCS)")
+		queryPoints = flag.Int("querypoints", 50_000, "load mode: points per query, sliced from the pool (0 = whole pool)")
 	)
 	flag.Parse()
+
+	if *concurrency > 0 {
+		bounds, err := parseBounds(*boundsFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		agg, err := parseAgg(*aggFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		cfg := loadConfig{
+			seed:        *seed,
+			numPoints:   *points,
+			censusCount: *census,
+			concurrency: *concurrency,
+			duration:    *duration,
+			bounds:      bounds,
+			agg:         agg,
+			repetitions: *reps,
+			batch:       *batch,
+			workers:     *workers,
+			queryPoints: *queryPoints,
+		}
+		if err := runLoad(cfg); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	cfg := experiments.Config{
 		Seed:        *seed,

@@ -2,9 +2,13 @@ package distbound
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
+	"distbound/internal/cache"
 	"distbound/internal/join"
 	"distbound/internal/planner"
+	"distbound/internal/pool"
 )
 
 // Strategy identifies a physical plan for an aggregation query (§4).
@@ -20,17 +24,44 @@ const (
 // CostModel holds the planner's calibrated per-operation constants.
 type CostModel = planner.CostModel
 
+// DefaultIndexCacheCapacity bounds the ACT index cache: a long-running
+// server that has seen more distinct bounds than this evicts the least
+// recently used index instead of accumulating one per bound forever.
+const DefaultIndexCacheCapacity = 8
+
+// DefaultBRJCacheCapacity bounds the BRJ mask-canvas cache separately and
+// much tighter: one cached bound holds a float64 per covered pixel across
+// every region mask — hundreds of MB at fine bounds — where an ACT trie is
+// compact. Raise it via SetMaskCacheCapacity only with the memory to back
+// it (BRJJoiner.MemoryBytes reports a resident set's footprint).
+const DefaultBRJCacheCapacity = 2
+
 // Engine answers spatial aggregation queries over a fixed region set,
 // choosing the physical plan with the §4 cost-based planner: the exact
 // filter-and-refine join, the ACT-indexed approximate join, or the Bounded
 // Raster Join — whichever is estimated cheapest for the requested bound and
-// expected repetitions. Built indexes are cached and reused across calls.
+// expected repetitions.
+//
+// Engine is a serving layer: all methods are safe for concurrent use by any
+// number of goroutines. Lazily built artifacts (the R*-tree, one ACT trie
+// per bound, one set of BRJ mask canvases per bound) are cached in bounded
+// LRU caches with singleflight build deduplication — concurrent misses on
+// the same bound run one build and share it. The planner is told which
+// artifacts are already resident, so cached-index reuse across concurrent
+// callers participates in its repetition amortization.
 type Engine struct {
 	regions []Region
 	domain  Domain
+	stats   planner.RegionStats // precomputed once; regions are immutable
+
+	mu      sync.RWMutex // guards model and workers
 	model   planner.CostModel
-	exact   *join.RStarJoiner
-	act     map[float64]*join.ACTJoiner
+	workers int
+
+	exactOnce sync.Once
+	exact     atomic.Pointer[join.RStarJoiner]
+	act       *cache.Cache[float64, *join.ACTJoiner]
+	brj       *cache.Cache[float64, *join.BRJJoiner]
 }
 
 // NewEngine creates an engine over the region set.
@@ -38,69 +69,272 @@ func NewEngine(regions []Region) *Engine {
 	return &Engine{
 		regions: regions,
 		domain:  DomainForRegions(regions...),
+		stats:   planner.ComputeStats(regions),
 		model:   planner.DefaultCostModel(),
-		act:     map[float64]*join.ACTJoiner{},
+		act:     cache.New[float64, *join.ACTJoiner](DefaultIndexCacheCapacity),
+		brj:     cache.New[float64, *join.BRJJoiner](DefaultBRJCacheCapacity),
 	}
 }
 
 // SetCostModel overrides the planner constants (e.g. after calibrating on
 // the target machine).
-func (e *Engine) SetCostModel(m CostModel) { e.model = m }
+func (e *Engine) SetCostModel(m CostModel) {
+	e.mu.Lock()
+	e.model = m
+	e.mu.Unlock()
+}
 
-// Plan returns the planner's decision for a query without executing it.
+// SetWorkers fixes the intra-query fan-out: every Aggregate call shards its
+// point set across this many goroutines. n ≤ 0 (the default) selects
+// GOMAXPROCS; a server that already runs many queries concurrently
+// typically wants 1 to avoid oversubscription. AggregateBatch ignores this
+// setting — it parallelizes across queries and runs each join
+// single-threaded.
+func (e *Engine) SetWorkers(n int) {
+	e.mu.Lock()
+	e.workers = n
+	e.mu.Unlock()
+}
+
+// Workers returns the configured intra-query worker count (0 = GOMAXPROCS).
+func (e *Engine) Workers() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.workers
+}
+
+// SetIndexCacheCapacity bounds how many distinct bounds' ACT tries stay
+// resident (default DefaultIndexCacheCapacity); least recently used
+// entries are evicted. The BRJ mask cache is sized separately with
+// SetMaskCacheCapacity — tries are compact, mask sets are not, so the two
+// should not share one knob.
+func (e *Engine) SetIndexCacheCapacity(n int) {
+	e.act.SetCapacity(n)
+}
+
+// SetMaskCacheCapacity bounds how many distinct bounds' BRJ mask-canvas
+// sets stay resident (default DefaultBRJCacheCapacity). Mask canvases cost
+// a float64 per covered pixel, so n resident fine-bound mask sets can
+// reach gigabytes; size this against available memory, not query
+// diversity. The capacity also caps how many mask builds run concurrently.
+func (e *Engine) SetMaskCacheCapacity(n int) {
+	e.brj.SetCapacity(n)
+}
+
+// costModel snapshots the planner constants.
+func (e *Engine) costModel() planner.CostModel {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.model
+}
+
+// cachedBuilds reports which strategies' build artifacts are resident for
+// the bound, so the planner charges no build cost for them. Only completed
+// builds count: an in-flight build has not been paid yet, and crediting it
+// would steer cheap one-shot queries into blocking on a slow build.
+func (e *Engine) cachedBuilds(bound float64) map[Strategy]bool {
+	m := map[Strategy]bool{}
+	if e.exact.Load() != nil {
+		m[StrategyExact] = true
+	}
+	if e.act.ContainsReady(bound) {
+		m[StrategyACT] = true
+	}
+	if e.brj.ContainsReady(bound) {
+		m[StrategyBRJ] = true
+	}
+	return m
+}
+
+// PlanFor returns the planner's decision for a query without executing it.
 // bound ≤ 0 requests exact answers; repetitions is the number of times the
 // caller expects to aggregate over this region set (amortizing index
-// builds), minimum 1.
-func (e *Engine) Plan(numPoints int, bound float64, repetitions int) planner.Plan {
-	return e.model.Choose(planner.Query{
+// builds), minimum 1. MIN/MAX aggregations exclude the raster join, so the
+// returned plan is exactly what Aggregate will run — no silent fallback.
+func (e *Engine) PlanFor(numPoints int, agg Agg, bound float64, repetitions int) planner.Plan {
+	return e.costModel().Choose(planner.Query{
 		NumPoints:   numPoints,
 		Regions:     e.regions,
 		Bound:       bound,
 		Repetitions: repetitions,
+		ExtremeAgg:  agg == Min || agg == Max,
+		CachedBuild: e.cachedBuilds(bound),
+		Stats:       &e.stats,
 	})
+}
+
+// Plan is PlanFor for a COUNT-like aggregation (any of COUNT/SUM/AVG, which
+// every strategy supports).
+func (e *Engine) Plan(numPoints int, bound float64, repetitions int) planner.Plan {
+	return e.PlanFor(numPoints, Count, bound, repetitions)
 }
 
 // Aggregate answers the aggregation query with the planner-selected
 // strategy, reporting which strategy ran. Exact strategies ignore the bound;
 // approximate ones guarantee every error is within bound of a region
-// boundary.
+// boundary. Safe for concurrent use.
 func (e *Engine) Aggregate(ps PointSet, agg Agg, bound float64, repetitions int) (Result, Strategy, error) {
-	plan := e.Plan(len(ps.Pts), bound, repetitions)
-	strategy := plan.Strategy
-	// MIN/MAX are not supported by the raster join; fall back to ACT, which
-	// is the next-best approximate plan.
-	if strategy == StrategyBRJ && (agg == Min || agg == Max) {
-		strategy = StrategyACT
-	}
+	plan := e.PlanFor(len(ps.Pts), agg, bound, repetitions)
+	res, err := e.run(ps, agg, bound, plan.Strategy, e.Workers())
+	return res, plan.Strategy, err
+}
+
+// run executes one query on a fixed strategy with the given intra-query
+// worker count.
+func (e *Engine) run(ps PointSet, agg Agg, bound float64, strategy Strategy, workers int) (Result, error) {
 	switch strategy {
 	case StrategyExact:
-		if e.exact == nil {
-			e.exact = join.NewRStarJoiner(e.regions, 0)
-		}
-		res, err := e.exact.Aggregate(ps, agg)
-		return res, strategy, err
+		return e.exactJoiner().AggregateParallel(ps, agg, workers)
 	case StrategyACT:
-		aj, ok := e.act[bound]
-		if !ok {
-			var err error
-			aj, err = join.NewACTJoiner(e.regions, e.domain, Hilbert, bound, 0)
-			if err != nil {
-				return Result{}, strategy, fmt.Errorf("distbound: building ACT index: %w", err)
-			}
-			e.act[bound] = aj
+		aj, err := e.actJoiner(bound)
+		if err != nil {
+			return Result{}, err
 		}
-		res, err := aj.Aggregate(ps, agg)
-		return res, strategy, err
+		return aj.AggregateParallel(ps, agg, workers)
 	case StrategyBRJ:
-		brj := join.BRJ{Bound: bound, Bounds: e.domain.Bounds()}
-		res, _, err := brj.Run(ps, e.regions, agg)
-		return res, strategy, err
+		bj, err := e.brjJoiner(bound, workers)
+		if err != nil {
+			return Result{}, err
+		}
+		return bj.AggregateParallel(ps, agg, workers)
 	default:
-		return Result{}, strategy, fmt.Errorf("distbound: unknown strategy %v", strategy)
+		return Result{}, fmt.Errorf("distbound: unknown strategy %v", strategy)
 	}
 }
 
-// Explain renders the cost comparison for a query, marking the chosen plan.
+// exactJoiner returns the R*-tree joiner, building it exactly once.
+func (e *Engine) exactJoiner() *join.RStarJoiner {
+	e.exactOnce.Do(func() {
+		e.exact.Store(join.NewRStarJoiner(e.regions, 0))
+	})
+	return e.exact.Load()
+}
+
+// actJoiner returns the ACT joiner for the bound, building it under the
+// cache's singleflight on a miss.
+func (e *Engine) actJoiner(bound float64) (*join.ACTJoiner, error) {
+	aj, err := e.act.GetOrBuild(bound, func() (*join.ACTJoiner, error) {
+		return join.NewACTJoiner(e.regions, e.domain, Hilbert, bound, 0)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("distbound: building ACT index: %w", err)
+	}
+	return aj, nil
+}
+
+// brjJoiner returns the mask-cached raster joiner for the bound. A cold
+// build fans out across the caller's worker budget — the SetWorkers value
+// for Aggregate, 1 from the batch pool — so mask renders never exceed the
+// parallelism the query itself was granted.
+func (e *Engine) brjJoiner(bound float64, workers int) (*join.BRJJoiner, error) {
+	bj, err := e.brj.GetOrBuild(bound, func() (*join.BRJJoiner, error) {
+		return join.NewBRJJoiner(e.regions, e.domain.Bounds(), bound, 0, workers)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("distbound: building BRJ canvases: %w", err)
+	}
+	return bj, nil
+}
+
+// BatchQuery is one query of an AggregateBatch call.
+type BatchQuery struct {
+	// Points is the point relation of this query.
+	Points PointSet
+	// Agg selects the aggregation function.
+	Agg Agg
+	// Bound is the distance bound; ≤ 0 requests exact answers.
+	Bound float64
+	// Repetitions is how many times the caller expects to run this query in
+	// total, counting its occurrence in this batch (minimum 1) — the same
+	// inclusive meaning as Aggregate's parameter. Queries sharing a bound
+	// within the batch additionally amortize each other's index builds.
+	Repetitions int
+}
+
+// BatchResult pairs one batch query's outcome with the strategy that ran.
+type BatchResult struct {
+	Result   Result
+	Strategy Strategy
+	Err      error
+}
+
+// AggregateBatch answers many queries by sharding them across a pool of
+// workers (≤ 0 selects GOMAXPROCS). Every query's plan is fixed up front
+// against the cache state at batch entry, so a batch's results — including
+// the chosen strategies — are deterministic for a given engine state
+// regardless of worker count. Queries that share a distance bound amortize
+// one index build across the batch, and the build itself is deduplicated by
+// the engine's caches, so concurrent workers hitting the same cold bound
+// wait for a single build instead of racing. Results are positionally
+// aligned with queries. Counts are identical to running the same plan
+// sequentially; note a sequential Aggregate loop may choose different plans
+// for later queries, because earlier builds complete in between and
+// different (still bound-respecting) plans may disagree on counts.
+//
+// Each query's join runs single-threaded: the batch parallelizes across
+// queries, so the SetWorkers intra-query fan-out deliberately does not
+// apply here — combining both would oversubscribe the pool.
+func (e *Engine) AggregateBatch(queries []BatchQuery, workers int) []BatchResult {
+	workers = pool.Workers(workers, len(queries))
+
+	// Multiplicity inside the batch: k queries that can share a strategy's
+	// build artifact mean a freshly built index is reused at least k times,
+	// which the planner folds into its repetition amortization. MIN/MAX
+	// queries are keyed separately — they can never run BRJ, so counting
+	// them toward a COUNT query's amortization could credit a mask build
+	// the extremes will never touch (they still share ACT builds at
+	// execution time via the cache; under-crediting that is conservative).
+	type shareKey struct {
+		bound   float64
+		extreme bool
+	}
+	sharing := map[shareKey]int{}
+	keyOf := func(q BatchQuery) shareKey {
+		return shareKey{bound: q.Bound, extreme: q.Agg == Min || q.Agg == Max}
+	}
+	for _, q := range queries {
+		sharing[keyOf(q)]++
+	}
+
+	// Plan before executing anything: plans then reflect the batch-entry
+	// cache state instead of whatever builds happen to finish mid-batch,
+	// which would make strategy choice depend on worker interleaving.
+	strategies := make([]Strategy, len(queries))
+	for i, q := range queries {
+		reps := q.Repetitions
+		if reps < 1 {
+			reps = 1
+		}
+		reps += sharing[keyOf(q)] - 1
+		strategies[i] = e.PlanFor(len(q.Points.Pts), q.Agg, q.Bound, reps).Strategy
+	}
+
+	// Per-query failures land in results[i].Err rather than aborting the
+	// pool, so one bad query never drops its siblings.
+	results := make([]BatchResult, len(queries))
+	pool.Run(len(queries), workers, func(_, i int) error {
+		q := queries[i]
+		res, err := e.run(q.Points, q.Agg, q.Bound, strategies[i], 1)
+		results[i] = BatchResult{Result: res, Strategy: strategies[i], Err: err}
+		return nil
+	})
+	return results
+}
+
+// CacheStats reports the engine's index-cache counters (hits, misses,
+// builds, coalesced waits on in-flight builds, evictions) for the ACT and
+// BRJ caches.
+func (e *Engine) CacheStats() (act, brj cache.Stats) {
+	return e.act.Stats(), e.brj.Stats()
+}
+
+// ExplainFor renders the cost comparison for a query, marking the chosen
+// plan.
+func (e *Engine) ExplainFor(numPoints int, agg Agg, bound float64, repetitions int) string {
+	return e.PlanFor(numPoints, agg, bound, repetitions).Explain()
+}
+
+// Explain is ExplainFor for a COUNT-like aggregation.
 func (e *Engine) Explain(numPoints int, bound float64, repetitions int) string {
-	return e.Plan(numPoints, bound, repetitions).Explain()
+	return e.ExplainFor(numPoints, Count, bound, repetitions)
 }

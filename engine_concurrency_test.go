@@ -1,0 +1,257 @@
+package distbound
+
+import (
+	"sync"
+	"testing"
+)
+
+// mixedQuery is one (bound, repetitions) point of the concurrent workload.
+type mixedQuery struct {
+	bound float64
+	reps  int
+}
+
+// engineReference warms the engine's caches at every query and returns the
+// stable per-bound reference results plus the strategies that ran. Two
+// warm-up rounds are needed: the first builds the indexes, the second plans
+// with every build cost already amortized — the same state every later call
+// observes.
+func engineReference(t *testing.T, e *Engine, ps PointSet, agg Agg, queries []mixedQuery) (map[float64]Result, map[Strategy]bool) {
+	t.Helper()
+	ref := map[float64]Result{}
+	strategies := map[Strategy]bool{}
+	for round := 0; round < 2; round++ {
+		for _, q := range queries {
+			res, strat, err := e.Aggregate(ps, agg, q.bound, q.reps)
+			if err != nil {
+				t.Fatalf("bound %g: %v", q.bound, err)
+			}
+			ref[q.bound] = res
+			strategies[strat] = true
+		}
+	}
+	return ref, strategies
+}
+
+// TestEngineConcurrentMixedBounds drives one shared engine from many
+// goroutines with mixed bounds and repetition hints chosen so all three
+// strategies — and hence the exact joiner plus both the ACT and BRJ cache
+// paths — run concurrently, checking every result against the sequential
+// reference. Run under -race this is the concurrency-safety gate for the
+// serving layer.
+func TestEngineConcurrentMixedBounds(t *testing.T) {
+	ps, _ := facadeWorkload(20000)
+	regions := complexRegions()
+	e := NewEngine(regions)
+	// bound 0 → exact; fine bounds at high reps → ACT; a coarse one-shot
+	// bound → BRJ (asserted below so cost-model drift cannot silently turn
+	// this into an exact-only test).
+	queries := []mixedQuery{{0, 1}, {16, 1000}, {32, 1000}, {64, 1}}
+	ref, strategies := engineReference(t, e, ps, Count, queries)
+	for _, s := range []Strategy{StrategyExact, StrategyACT, StrategyBRJ} {
+		if !strategies[s] {
+			t.Fatalf("workload never planned %v — concurrency gate lost coverage; saw %v", s, strategies)
+		}
+	}
+
+	const goroutines = 12
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 6; i++ {
+				q := queries[(g+i)%len(queries)]
+				res, _, err := e.Aggregate(ps, Count, q.bound, q.reps)
+				if err != nil {
+					t.Errorf("goroutine %d bound %g: %v", g, q.bound, err)
+					return
+				}
+				want := ref[q.bound]
+				for ri := range regions {
+					if res.Counts[ri] != want.Counts[ri] {
+						t.Errorf("goroutine %d bound %g region %d: %d != %d",
+							g, q.bound, ri, res.Counts[ri], want.Counts[ri])
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	close(start)
+	wg.Wait()
+}
+
+// TestEngineConcurrentBuildsAreDeduplicated hammers a cold engine with many
+// goroutines asking for the same two bounds; the singleflight caches must
+// run exactly one build per distinct artifact.
+func TestEngineConcurrentBuildsAreDeduplicated(t *testing.T) {
+	ps, _ := facadeWorkload(2000)
+	regions := complexRegions()
+	e := NewEngine(regions)
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < 10; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			// High repetitions force the ACT plan for both bounds.
+			b := []float64{8, 16}[g%2]
+			if _, _, err := e.Aggregate(ps, Count, b, 1_000_000); err != nil {
+				t.Errorf("bound %g: %v", b, err)
+			}
+		}(g)
+	}
+	close(start)
+	wg.Wait()
+
+	st := e.act.Stats()
+	if st.Builds != 2 {
+		t.Errorf("10 goroutines over 2 bounds ran %d builds (want 2); stats %+v", st.Builds, st)
+	}
+	if e.act.Len() != 2 {
+		t.Errorf("cache holds %d indexes, want 2", e.act.Len())
+	}
+}
+
+// TestEngineIndexCacheEviction checks the LRU bound: a server queried at
+// more bounds than the capacity must evict, not grow without limit.
+func TestEngineIndexCacheEviction(t *testing.T) {
+	ps, _ := facadeWorkload(2000)
+	regions := complexRegions()
+	e := NewEngine(regions)
+	e.SetIndexCacheCapacity(2)
+
+	bounds := []float64{8, 12, 16, 24}
+	for _, b := range bounds {
+		if _, _, err := e.Aggregate(ps, Count, b, 1_000_000); err != nil {
+			t.Fatalf("bound %g: %v", b, err)
+		}
+	}
+	if e.act.Len() > 2 {
+		t.Errorf("cache grew to %d entries despite capacity 2", e.act.Len())
+	}
+	if e.act.Contains(8) {
+		t.Error("least recently used bound 8 survived eviction")
+	}
+	if st := e.act.Stats(); st.Evictions == 0 {
+		t.Errorf("no evictions counted: %+v", st)
+	}
+	// An evicted bound is rebuilt transparently.
+	if _, _, err := e.Aggregate(ps, Count, 8, 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEngineCachedBuildInformsPlanner verifies the cost-model extension: a
+// one-shot query at a bound whose index is already resident may switch to
+// the indexed plan, because its build cost is sunk.
+func TestEngineCachedBuildInformsPlanner(t *testing.T) {
+	regions := complexRegions()
+	ps, _ := facadeWorkload(20000)
+	e := NewEngine(regions)
+
+	cold := e.PlanFor(len(ps.Pts), Count, 16, 1)
+	if cold.Strategy == StrategyACT {
+		t.Fatalf("cold one-shot query already plans ACT: %v", cold.Costs)
+	}
+	coldACT := cold.Costs[StrategyACT]
+	if coldACT.Build <= 0 {
+		t.Fatalf("cold ACT estimate has no build cost: %+v", coldACT)
+	}
+
+	// Warm the ACT index via a heavily repeated query, then re-plan the
+	// identical one-shot query: the ACT build cost must read as paid.
+	if _, _, err := e.Aggregate(ps, Count, 16, 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	warm := e.PlanFor(len(ps.Pts), Count, 16, 1)
+	if got := warm.Costs[StrategyACT].Build; got != 0 {
+		t.Errorf("resident ACT index still charged build cost %g", got)
+	}
+	if warm.Strategy != StrategyACT {
+		t.Errorf("warm one-shot query plans %v over the resident index: %v",
+			warm.Strategy, warm.Costs)
+	}
+}
+
+// TestEngineAggregateBatch checks that the batched path is deterministic
+// across parallelism levels: identical strategies and counts for every
+// worker count. Caches are warmed (with capacities covering every bound)
+// first, so all batches plan against the same stable cache state.
+func TestEngineAggregateBatch(t *testing.T) {
+	ps, regions := facadeWorkload(20000)
+	e := NewEngine(regions)
+	e.SetMaskCacheCapacity(8) // every bound stays resident: no eviction churn
+
+	mkQueries := func() []BatchQuery {
+		var qs []BatchQuery
+		for i := 0; i < 12; i++ {
+			qs = append(qs, BatchQuery{
+				Points: ps,
+				Agg:    Count,
+				Bound:  []float64{0, 16, 32, 64}[i%4],
+			})
+		}
+		return qs
+	}
+
+	e.AggregateBatch(mkQueries(), 4) // warm every bound's plan and index
+	queries := mkQueries()
+	seq := e.AggregateBatch(queries, 1)
+	for _, workers := range []int{0, 4, 8} {
+		par := e.AggregateBatch(mkQueries(), workers)
+		for i := range queries {
+			if seq[i].Err != nil || par[i].Err != nil {
+				t.Fatalf("query %d: seq err %v, par err %v", i, seq[i].Err, par[i].Err)
+			}
+			if seq[i].Strategy != par[i].Strategy {
+				t.Fatalf("workers=%d query %d: strategy %v != sequential %v",
+					workers, i, par[i].Strategy, seq[i].Strategy)
+			}
+			for ri := range regions {
+				if seq[i].Result.Counts[ri] != par[i].Result.Counts[ri] {
+					t.Fatalf("workers=%d query %d region %d: %d != %d", workers, i, ri,
+						par[i].Result.Counts[ri], seq[i].Result.Counts[ri])
+				}
+			}
+		}
+	}
+}
+
+// TestEngineBatchAmortizesSharedBounds checks that same-bound multiplicity
+// inside a batch feeds the planner's repetition amortization: a batch of
+// one-shot queries at one fine bound should plan the indexed strategy where
+// a single one-shot query would not.
+func TestEngineBatchAmortizesSharedBounds(t *testing.T) {
+	regions := complexRegions()
+	ps, _ := facadeWorkload(20000)
+
+	single := NewEngine(regions).PlanFor(len(ps.Pts), Count, 16, 1)
+	if single.Strategy == StrategyACT {
+		t.Skip("single one-shot query already plans ACT; sharing not observable")
+	}
+
+	e := NewEngine(regions)
+	queries := make([]BatchQuery, 400)
+	for i := range queries {
+		queries[i] = BatchQuery{Points: ps, Agg: Count, Bound: 16}
+	}
+	results := e.AggregateBatch(queries, 4)
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("query %d: %v", i, r.Err)
+		}
+	}
+	if results[0].Strategy != StrategyACT {
+		t.Errorf("400 same-bound queries planned %v, expected the amortized ACT plan",
+			results[0].Strategy)
+	}
+	if st := e.act.Stats(); st.Builds > 1 {
+		t.Errorf("batch rebuilt the ACT index %d times", st.Builds)
+	}
+}

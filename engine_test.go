@@ -92,6 +92,37 @@ func TestEngineMinMaxAvoidsBRJ(t *testing.T) {
 	}
 }
 
+func TestEnginePlanReflectsMinMaxFallback(t *testing.T) {
+	ps, _ := facadeWorkload(20000)
+	regions := complexRegions()
+	e := NewEngine(regions)
+	// The COUNT plan for this query must pick BRJ — otherwise the fallback
+	// scenario is not exercised and this test is vacuous.
+	countPlan := e.PlanFor(len(ps.Pts), Count, 64, 1)
+	if countPlan.Strategy != StrategyBRJ {
+		t.Fatalf("COUNT plan chose %v, not BRJ — workload no longer exercises the fallback; costs: %v",
+			countPlan.Strategy, countPlan.Costs)
+	}
+	plan := e.PlanFor(len(ps.Pts), Min, 64, 1)
+	if plan.Strategy == StrategyBRJ {
+		t.Error("MIN plan reports BRJ, which cannot run MIN")
+	}
+	if _, ok := plan.Costs[StrategyBRJ]; ok {
+		t.Error("MIN plan still lists BRJ as an alternative")
+	}
+	// The executed strategy must match the reported plan exactly.
+	_, strategy, err := e.Aggregate(ps, Min, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strategy != plan.Strategy {
+		t.Errorf("Aggregate ran %v but PlanFor reported %v", strategy, plan.Strategy)
+	}
+	if out := e.ExplainFor(len(ps.Pts), Min, 64, 1); strings.Contains(out, "brj") {
+		t.Errorf("ExplainFor(MIN) still mentions brj:\n%s", out)
+	}
+}
+
 func TestEngineCachesACTIndex(t *testing.T) {
 	ps, _ := facadeWorkload(5000)
 	regions := complexRegions()
@@ -101,14 +132,20 @@ func TestEngineCachesACTIndex(t *testing.T) {
 	if _, _, err := e.Aggregate(ps, Count, 16, 1_000_000); err != nil {
 		t.Fatal(err)
 	}
-	if len(e.act) != 1 {
-		t.Fatalf("expected 1 cached index, have %d", len(e.act))
+	if e.act.Len() != 1 {
+		t.Fatalf("expected 1 cached index, have %d", e.act.Len())
 	}
-	idx := e.act[16]
+	idx, ok := e.act.Peek(16)
+	if !ok {
+		t.Fatal("bound 16 not resident")
+	}
 	if _, _, err := e.Aggregate(ps, Count, 16, 1_000_000); err != nil {
 		t.Fatal(err)
 	}
-	if e.act[16] != idx {
+	if got, _ := e.act.Peek(16); got != idx {
 		t.Error("ACT index rebuilt instead of reused")
+	}
+	if st := e.act.Stats(); st.Builds != 1 {
+		t.Errorf("expected 1 build, counted %d", st.Builds)
 	}
 }

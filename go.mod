@@ -1,0 +1,3 @@
+module distbound
+
+go 1.24

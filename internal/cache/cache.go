@@ -1,0 +1,272 @@
+// Package cache provides the bounded, concurrency-safe index cache of the
+// serving engine: a generic LRU keyed by comparable keys with
+// singleflight-style build deduplication. Index builds (ACT tries, BRJ mask
+// canvases) are expensive — seconds at fine distance bounds — so when many
+// concurrent queries miss on the same key, exactly one goroutine runs the
+// build while the others wait for its result instead of duplicating the
+// work. The capacity bound keeps long-running servers from accumulating one
+// index per distinct bound ever queried.
+package cache
+
+import (
+	"errors"
+	"sync"
+)
+
+// errBuildPanicked is what waiters coalesced onto a build receive when that
+// build panics; the panicking goroutine itself sees the panic.
+var errBuildPanicked = errors.New("cache: build panicked")
+
+// Stats counts cache events since construction.
+type Stats struct {
+	// Hits is the number of GetOrBuild calls answered from a resident entry.
+	Hits int64
+	// Misses is the number of GetOrBuild calls that found no entry.
+	Misses int64
+	// Builds is the number of build functions actually executed (one per
+	// miss; concurrent callers arriving during a build count as hits).
+	Builds int64
+	// Coalesced is the number of hits that landed on a build still in
+	// flight and waited for it — the calls deduplication saved from
+	// running their own build.
+	Coalesced int64
+	// Evictions is the number of entries dropped by the capacity bound.
+	Evictions int64
+}
+
+// entry is one cache slot. ready is closed once val/err are final; waiters
+// block on it without holding the cache lock, so a slow build never stalls
+// lookups of other keys.
+type entry[K comparable, V any] struct {
+	key        K
+	val        V
+	err        error
+	ready      chan struct{}
+	prev, next *entry[K, V] // LRU list, most recent at head
+}
+
+// Cache is a bounded LRU with deduplicated builds. The zero value is not
+// usable; construct with New.
+//
+// The capacity also gates build concurrency: at most capacity builds for
+// distinct keys run at once, the rest queue. Without the gate, a cold burst
+// of distinct keys would hold arbitrarily many in-flight artifacts
+// simultaneously — unbounded peak memory on exactly the large artifacts the
+// capacity bound exists to contain.
+type Cache[K comparable, V any] struct {
+	mu        sync.Mutex
+	buildSlot *sync.Cond // signaled when a build finishes or capacity grows
+	building  int
+	capacity  int
+	entries   map[K]*entry[K, V]
+	head      *entry[K, V] // most recently used
+	tail      *entry[K, V] // least recently used
+	stats     Stats
+}
+
+// New returns a cache holding at most capacity entries (minimum 1).
+func New[K comparable, V any](capacity int) *Cache[K, V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	c := &Cache[K, V]{capacity: capacity, entries: map[K]*entry[K, V]{}}
+	c.buildSlot = sync.NewCond(&c.mu)
+	return c
+}
+
+// GetOrBuild returns the cached value for key, building it with build on a
+// miss. Concurrent calls for the same missing key run build once and share
+// the outcome. A failed build is not cached: every waiter receives the
+// error and the next GetOrBuild retries.
+func (c *Cache[K, V]) GetOrBuild(key K, build func() (V, error)) (V, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.stats.Hits++
+		select {
+		case <-e.ready:
+		default:
+			c.stats.Coalesced++
+		}
+		c.moveToFront(e)
+		c.mu.Unlock()
+		<-e.ready
+		return e.val, e.err
+	}
+	c.stats.Misses++
+	c.stats.Builds++
+	e := &entry[K, V]{key: key, ready: make(chan struct{})}
+	c.entries[key] = e
+	c.pushFront(e)
+	// Wait for a build slot. Waiters coalescing onto this key block on
+	// e.ready without the lock, so queuing here stalls only other builders.
+	for c.building >= c.capacity {
+		c.buildSlot.Wait()
+	}
+	c.building++
+	c.mu.Unlock()
+
+	// The deferred cleanup releases the build slot on every exit, and — if
+	// build panicked — drops the entry and releases waiters with an error
+	// before the panic propagates; otherwise the never-closed ready channel
+	// would wedge every later call for this key forever.
+	completed := false
+	defer func() {
+		c.mu.Lock()
+		c.building--
+		c.buildSlot.Broadcast()
+		if !completed && c.entries[key] == e {
+			c.remove(e)
+		}
+		c.mu.Unlock()
+		if !completed {
+			e.err = errBuildPanicked
+			close(e.ready)
+		}
+	}()
+
+	e.val, e.err = build()
+	completed = true
+	c.mu.Lock()
+	if e.err != nil {
+		// Drop the failed entry so a later call can retry; only remove our
+		// own entry in case a concurrent retry already replaced it.
+		if c.entries[key] == e {
+			c.remove(e)
+		}
+	} else {
+		// Evict only now that the build has succeeded: evicting at insert
+		// time would let a build that ends up failing flush a warm resident
+		// entry and leave nothing in its place.
+		c.evictOver()
+	}
+	c.mu.Unlock()
+	close(e.ready)
+	return e.val, e.err
+}
+
+// Peek returns the value cached under key without affecting recency. It
+// blocks if the entry's build is still in flight.
+func (c *Cache[K, V]) Peek(key K) (V, bool) {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	c.mu.Unlock()
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	<-e.ready
+	return e.val, e.err == nil
+}
+
+// Contains reports whether key is resident (built or building).
+func (c *Cache[K, V]) Contains(key K) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[key]
+	return ok
+}
+
+// ContainsReady reports whether key is resident with a completed build —
+// the right check for "has this build cost been paid", where an in-flight
+// build must not count.
+func (c *Cache[K, V]) ContainsReady(key K) bool {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	c.mu.Unlock()
+	if !ok {
+		return false
+	}
+	select {
+	case <-e.ready:
+		return true
+	default:
+		return false
+	}
+}
+
+// Len returns the number of resident entries.
+func (c *Cache[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Stats returns a snapshot of the event counters.
+func (c *Cache[K, V]) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// SetCapacity changes the bound, evicting least-recently-used entries if
+// the cache is over the new capacity.
+func (c *Cache[K, V]) SetCapacity(capacity int) {
+	if capacity < 1 {
+		capacity = 1
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.capacity = capacity
+	c.evictOver()
+	c.buildSlot.Broadcast() // a raised capacity may unblock queued builders
+}
+
+// evictOver drops LRU entries until the cache fits its capacity. Entries
+// whose build is still in flight are skipped: waiters hold them, and
+// dropping the map slot would let a duplicate build start. Called with mu
+// held.
+func (c *Cache[K, V]) evictOver() {
+	e := c.tail
+	for len(c.entries) > c.capacity && e != nil {
+		prev := e.prev
+		select {
+		case <-e.ready:
+			c.remove(e)
+			c.stats.Evictions++
+		default:
+		}
+		e = prev
+	}
+}
+
+// pushFront inserts e at the head. Called with mu held.
+func (c *Cache[K, V]) pushFront(e *entry[K, V]) {
+	e.prev, e.next = nil, c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+// moveToFront marks e most recently used. Called with mu held.
+func (c *Cache[K, V]) moveToFront(e *entry[K, V]) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}
+
+// remove deletes e from the map and list. Called with mu held.
+func (c *Cache[K, V]) remove(e *entry[K, V]) {
+	delete(c.entries, e.key)
+	c.unlink(e)
+}
+
+// unlink detaches e from the list. Called with mu held.
+func (c *Cache[K, V]) unlink(e *entry[K, V]) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}

@@ -1,0 +1,264 @@
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestGetOrBuildCachesValue(t *testing.T) {
+	c := New[int, string](4)
+	builds := 0
+	build := func() (string, error) { builds++; return "v", nil }
+	for i := 0; i < 3; i++ {
+		v, err := c.GetOrBuild(7, build)
+		if err != nil || v != "v" {
+			t.Fatalf("get %d: %q, %v", i, v, err)
+		}
+	}
+	if builds != 1 {
+		t.Errorf("built %d times", builds)
+	}
+	st := c.Stats()
+	if st.Builds != 1 || st.Hits != 2 || st.Misses != 1 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	c := New[int, int](2)
+	mk := func(k int) func() (int, error) {
+		return func() (int, error) { return k * 10, nil }
+	}
+	c.GetOrBuild(1, mk(1))
+	c.GetOrBuild(2, mk(2))
+	c.GetOrBuild(1, mk(1)) // bump 1; 2 is now LRU
+	c.GetOrBuild(3, mk(3)) // evicts 2
+	if c.Contains(2) {
+		t.Error("2 not evicted")
+	}
+	if !c.Contains(1) || !c.Contains(3) {
+		t.Error("wrong survivors")
+	}
+	if c.Len() != 2 {
+		t.Errorf("len %d", c.Len())
+	}
+	if ev := c.Stats().Evictions; ev != 1 {
+		t.Errorf("evictions %d", ev)
+	}
+}
+
+func TestFailedBuildNotCached(t *testing.T) {
+	c := New[int, int](2)
+	boom := errors.New("boom")
+	if _, err := c.GetOrBuild(1, func() (int, error) { return 0, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err %v", err)
+	}
+	if c.Contains(1) {
+		t.Error("failed build cached")
+	}
+	v, err := c.GetOrBuild(1, func() (int, error) { return 5, nil })
+	if err != nil || v != 5 {
+		t.Fatalf("retry: %d, %v", v, err)
+	}
+}
+
+func TestFailedBuildDoesNotEvictResidents(t *testing.T) {
+	c := New[int, int](1)
+	c.GetOrBuild(1, func() (int, error) { return 1, nil })
+	if _, err := c.GetOrBuild(2, func() (int, error) { return 0, errors.New("boom") }); err == nil {
+		t.Fatal("build error lost")
+	}
+	if !c.Contains(1) {
+		t.Error("failed build for key 2 evicted the resident key 1")
+	}
+	// A successful build still evicts the LRU resident.
+	c.GetOrBuild(3, func() (int, error) { return 3, nil })
+	if c.Contains(1) || !c.Contains(3) || c.Len() != 1 {
+		t.Error("successful build did not take over the capacity-1 cache")
+	}
+}
+
+func TestPanickingBuildDoesNotWedgeKey(t *testing.T) {
+	c := New[int, int](2)
+	waiting := make(chan struct{})
+	gotErr := make(chan error, 1)
+	go func() {
+		// Coalesce onto the panicking build: this call must be released
+		// with an error, not block forever.
+		<-waiting
+		_, err := c.GetOrBuild(1, func() (int, error) { return 9, nil })
+		gotErr <- err
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("panic did not propagate to the builder")
+			}
+		}()
+		c.GetOrBuild(1, func() (int, error) {
+			close(waiting)
+			// Give the waiter a moment to coalesce before panicking.
+			for i := 0; i < 1000; i++ {
+				runtime.Gosched()
+			}
+			panic("builder bug")
+		})
+	}()
+	if err := <-gotErr; err == nil {
+		// The waiter may also have raced in after the cleanup and rebuilt
+		// successfully — both outcomes are fine; a hang is the bug.
+		t.Log("waiter retried after cleanup and succeeded")
+	}
+	// The key is not wedged: a fresh build succeeds.
+	v, err := c.GetOrBuild(1, func() (int, error) { return 42, nil })
+	if err != nil || v != 42 {
+		t.Fatalf("key wedged after panic: %d, %v", v, err)
+	}
+}
+
+func TestConcurrentMissesCoalesce(t *testing.T) {
+	c := New[int, int](8)
+	var builds atomic.Int64
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for k := 0; k < 4; k++ {
+				v, err := c.GetOrBuild(k, func() (int, error) {
+					builds.Add(1)
+					return k + 100, nil
+				})
+				if err != nil || v != k+100 {
+					t.Errorf("key %d: %d, %v", k, v, err)
+				}
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if b := builds.Load(); b != 4 {
+		t.Errorf("%d builds for 4 keys across 16 goroutines", b)
+	}
+}
+
+func TestCoalescedWaitsAreCounted(t *testing.T) {
+	c := New[int, int](2)
+	inBuild := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		c.GetOrBuild(1, func() (int, error) {
+			close(inBuild)
+			<-release
+			return 1, nil
+		})
+		close(done)
+	}()
+	<-inBuild // the build is provably in flight
+	waited := make(chan struct{})
+	go func() {
+		c.GetOrBuild(1, func() (int, error) { return 0, errors.New("must coalesce") })
+		close(waited)
+	}()
+	// The waiter registers as a hit (coalesced) before blocking on ready;
+	// poll until it has.
+	for c.Stats().Coalesced == 0 {
+		runtime.Gosched()
+	}
+	close(release)
+	<-done
+	<-waited
+	st := c.Stats()
+	if st.Coalesced != 1 || st.Builds != 1 {
+		t.Errorf("stats %+v: want 1 coalesced wait on 1 build", st)
+	}
+}
+
+func TestBuildConcurrencyGatedByCapacity(t *testing.T) {
+	c := New[int, int](2)
+	var concurrent, peak atomic.Int32
+	var wg sync.WaitGroup
+	release := make(chan struct{})
+	for k := 0; k < 8; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			c.GetOrBuild(k, func() (int, error) {
+				n := concurrent.Add(1)
+				for {
+					p := peak.Load()
+					if n <= p || peak.CompareAndSwap(p, n) {
+						break
+					}
+				}
+				<-release
+				concurrent.Add(-1)
+				return k, nil
+			})
+		}(k)
+	}
+	// Let builders reach the gate, then run them to completion in waves.
+	for i := 0; i < 8; i++ {
+		release <- struct{}{}
+	}
+	wg.Wait()
+	if p := peak.Load(); p > 2 {
+		t.Errorf("%d builds ran concurrently despite capacity 2", p)
+	}
+}
+
+func TestSetCapacityShrinks(t *testing.T) {
+	c := New[int, int](8)
+	for k := 0; k < 6; k++ {
+		c.GetOrBuild(k, func() (int, error) { return k, nil })
+	}
+	c.SetCapacity(2)
+	if c.Len() != 2 {
+		t.Errorf("len %d after shrink", c.Len())
+	}
+	// The two most recently used keys survive.
+	if !c.Contains(4) || !c.Contains(5) {
+		t.Error("wrong survivors after shrink")
+	}
+}
+
+func TestPeekDoesNotBumpRecency(t *testing.T) {
+	c := New[int, int](2)
+	c.GetOrBuild(1, func() (int, error) { return 1, nil })
+	c.GetOrBuild(2, func() (int, error) { return 2, nil })
+	if v, ok := c.Peek(1); !ok || v != 1 {
+		t.Fatalf("peek: %d, %v", v, ok)
+	}
+	c.GetOrBuild(3, func() (int, error) { return 3, nil }) // evicts 1 (peek did not bump)
+	if c.Contains(1) {
+		t.Error("peek bumped recency")
+	}
+}
+
+func TestConcurrentMixedKeysUnderCapacityPressure(t *testing.T) {
+	c := New[string, int](3)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				k := fmt.Sprintf("k%d", (g+i)%6)
+				if _, err := c.GetOrBuild(k, func() (int, error) { return len(k), nil }); err != nil {
+					t.Errorf("get %s: %v", k, err)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 3 {
+		t.Errorf("len %d exceeds capacity", c.Len())
+	}
+}

@@ -217,6 +217,33 @@ func Blend(dst, src *Canvas, f BlendFunc) error {
 	return nil
 }
 
+// DotSum returns Σ a[p]·b[p] over the overlap of the two windows — the
+// blend-with-BlendMul-then-Sum step of the raster join as one read-only
+// pass. Neither canvas is written, so a cached region mask can be shared by
+// any number of concurrent joins. The iteration order matches Blend
+// followed by Sum restricted to the overlap, so results are bit-identical
+// to the mutating form.
+func DotSum(a, b *Canvas) (float64, error) {
+	if a.G != b.G {
+		return 0, fmt.Errorf("canvas: dot-sum across different grids")
+	}
+	x0 := maxInt(a.X0, b.X0)
+	y0 := maxInt(a.Y0, b.Y0)
+	x1 := minInt(a.X0+a.W, b.X0+b.W)
+	y1 := minInt(a.Y0+a.H, b.Y0+b.H)
+	var s float64
+	for gy := y0; gy < y1; gy++ {
+		ai := a.idx(x0, gy)
+		bi := b.idx(x0, gy)
+		for gx := x0; gx < x1; gx++ {
+			s += a.Pix[ai] * b.Pix[bi]
+			ai++
+			bi++
+		}
+	}
+	return s, nil
+}
+
 // Mask zeroes every pixel of c for which pred(mask value at that pixel) is
 // false; pixels outside the mask canvas read as 0. This is the M operator of
 // Figure 5.

@@ -4,10 +4,10 @@ import (
 	"fmt"
 	"math"
 	"runtime"
-	"sync"
 
 	"distbound/internal/canvas"
 	"distbound/internal/geom"
+	"distbound/internal/pool"
 )
 
 // BRJ is the Bounded Raster Join of §5.2 (Tzirita Zacharatou et al.,
@@ -39,6 +39,60 @@ type BRJStats struct {
 	GridHeight int
 	NumTiles   int
 	MaskPixels int64 // pixels written across all region masks
+}
+
+// tileGeom fixes one pass window of a tiled raster join. It is shared by
+// the one-shot BRJ and the cached BRJJoiner so their pass geometry — the
+// agreement the "counts identical" guarantee rests on — cannot diverge.
+type tileGeom struct {
+	x0, y0, w, h int
+	rect         geom.Rect
+}
+
+// tileGeomAt computes tile (tx, ty)'s window within the pixel range
+// [x0, x1] × [y0, y1] under the given texture cap.
+func tileGeomAt(grid canvas.Grid, x0, y0, x1, y1, maxTex, tx, ty int) tileGeom {
+	t := tileGeom{x0: x0 + tx*maxTex, y0: y0 + ty*maxTex}
+	t.w = minI(maxTex, x1-t.x0+1)
+	t.h = minI(maxTex, y1-t.y0+1)
+	t.rect = geom.Rect{
+		Min: grid.PixelRect(t.x0, t.y0).Min,
+		Max: grid.PixelRect(t.x0+t.w-1, t.y0+t.h-1).Max,
+	}
+	return t
+}
+
+// maskWindow clips a region's bounds to the tile, in pixels; ok is false
+// when the region misses the tile.
+func (t tileGeom) maskWindow(grid canvas.Grid, rb geom.Rect) (mx0, my0, mx1, my1 int, ok bool) {
+	window := rb.Intersection(t.rect)
+	if window.IsEmpty() {
+		return 0, 0, 0, 0, false
+	}
+	mx0, my0 = grid.PixelOf(window.Min)
+	mx1, my1 = grid.PixelOf(window.Max)
+	mx0, my0 = maxI(mx0, t.x0), maxI(my0, t.y0)
+	mx1, my1 = minI(mx1, t.x0+t.w-1), minI(my1, t.y0+t.h-1)
+	if mx0 > mx1 || my0 > my1 {
+		return 0, 0, 0, 0, false
+	}
+	return mx0, my0, mx1, my1, true
+}
+
+// bucketByTile assigns each in-range point index to its tile — the other
+// half (besides tileGeom) of the pass geometry both BRJ forms must agree
+// on for their counts to stay identical.
+func bucketByTile(ps PointSet, grid canvas.Grid, x0, y0, x1, y1, maxTex, tilesX, numTiles int) [][]int32 {
+	buckets := make([][]int32, numTiles)
+	for i, pt := range ps.Pts {
+		px, py := grid.PixelOf(pt)
+		if px < x0 || px > x1 || py < y0 || py > y1 {
+			continue
+		}
+		ti := ((py-y0)/maxTex)*tilesX + (px-x0)/maxTex
+		buckets[ti] = append(buckets[ti], int32(i))
+	}
+	return buckets
 }
 
 // brjPlan is the precomputed pass schedule of one run.
@@ -75,15 +129,7 @@ func (b BRJ) plan(ps PointSet, regions []geom.Region) (*brjPlan, BRJStats, error
 	p.tilesY = (stats.GridHeight + maxTex - 1) / maxTex
 	stats.NumTiles = p.tilesX * p.tilesY
 
-	p.buckets = make([][]int32, stats.NumTiles)
-	for i, pt := range ps.Pts {
-		px, py := grid.PixelOf(pt)
-		if px < x0 || px > x1 || py < y0 || py > y1 {
-			continue
-		}
-		ti := ((py-y0)/maxTex)*p.tilesX + (px-x0)/maxTex
-		p.buckets[ti] = append(p.buckets[ti], int32(i))
-	}
+	p.buckets = bucketByTile(ps, grid, x0, y0, x1, y1, maxTex, p.tilesX, stats.NumTiles)
 	p.regionBounds = make([]geom.Rect, len(regions))
 	for ri, rg := range regions {
 		p.regionBounds[ri] = rg.Bounds()
@@ -97,24 +143,17 @@ func (b BRJ) plan(ps PointSet, regions []geom.Region) (*brjPlan, BRJStats, error
 // point count falling into pixels crossed by the region boundary — the ε_b
 // of §6's result-range estimation. Returns the mask pixels written.
 func (p *brjPlan) runTile(ps PointSet, regions []geom.Region, agg Agg, tx, ty int, counts, sums, boundaryCounts []float64) (int64, error) {
-	tx0 := p.x0 + tx*p.maxTex
-	ty0 := p.y0 + ty*p.maxTex
-	tw := minI(p.maxTex, p.x1-tx0+1)
-	th := minI(p.maxTex, p.y1-ty0+1)
-	tileRect := geom.Rect{
-		Min: p.grid.PixelRect(tx0, ty0).Min,
-		Max: p.grid.PixelRect(tx0+tw-1, ty0+th-1).Max,
-	}
+	t := tileGeomAt(p.grid, p.x0, p.y0, p.x1, p.y1, p.maxTex, tx, ty)
 
 	// Point canvases for this pass: counts and, for SUM/AVG, weights (two
 	// color channels of the paper's off-screen buffer).
-	ptCount, err := canvas.NewCanvas(p.grid, tx0, ty0, tw, th)
+	ptCount, err := canvas.NewCanvas(p.grid, t.x0, t.y0, t.w, t.h)
 	if err != nil {
 		return 0, err
 	}
 	var ptSum *canvas.Canvas
 	if agg != Count {
-		ptSum, err = canvas.NewCanvas(p.grid, tx0, ty0, tw, th)
+		ptSum, err = canvas.NewCanvas(p.grid, t.x0, t.y0, t.w, t.h)
 		if err != nil {
 			return 0, err
 		}
@@ -129,15 +168,8 @@ func (p *brjPlan) runTile(ps PointSet, regions []geom.Region, agg Agg, tx, ty in
 
 	var maskPixels int64
 	for ri, rg := range regions {
-		window := p.regionBounds[ri].Intersection(tileRect)
-		if window.IsEmpty() {
-			continue
-		}
-		mx0, my0 := p.grid.PixelOf(window.Min)
-		mx1, my1 := p.grid.PixelOf(window.Max)
-		mx0, my0 = maxI(mx0, tx0), maxI(my0, ty0)
-		mx1, my1 = minI(mx1, tx0+tw-1), minI(my1, ty0+th-1)
-		if mx0 > mx1 || my0 > my1 {
+		mx0, my0, mx1, my1, ok := t.maskWindow(p.grid, p.regionBounds[ri])
+		if !ok {
 			continue
 		}
 		mask, err := canvas.NewCanvas(p.grid, mx0, my0, mx1-mx0+1, my1-my0+1)
@@ -221,81 +253,47 @@ func (b BRJ) run(ps PointSet, regions []geom.Region, agg Agg, workers int, withR
 			jobs = append(jobs, tileJob{tx, ty})
 		}
 	}
-	if workers > len(jobs) {
-		workers = len(jobs)
-	}
-	if workers < 1 {
-		workers = 1
-	}
+	workers = pool.Workers(workers, len(jobs))
 
+	type partial struct {
+		counts, sums, boundary []float64
+		maskPixels             int64
+	}
+	locals := make([]partial, workers)
+	for w := range locals {
+		locals[w] = partial{
+			counts: make([]float64, len(regions)),
+			sums:   make([]float64, len(regions)),
+		}
+		if withRange {
+			locals[w].boundary = make([]float64, len(regions))
+		}
+	}
+	err = pool.Run(len(jobs), workers, func(w, k int) error {
+		mp, err := plan.runTile(ps, regions, agg, jobs[k].tx, jobs[k].ty,
+			locals[w].counts, locals[w].sums, locals[w].boundary)
+		locals[w].maskPixels += mp
+		return err
+	})
+	if err != nil {
+		return Result{}, nil, stats, err
+	}
 	counts := make([]float64, len(regions))
 	sums := make([]float64, len(regions))
 	var boundaryCounts []float64
 	if withRange {
 		boundaryCounts = make([]float64, len(regions))
 	}
-	var maskPixels int64
-
-	if workers == 1 {
-		for _, jb := range jobs {
-			mp, err := plan.runTile(ps, regions, agg, jb.tx, jb.ty, counts, sums, boundaryCounts)
-			maskPixels += mp
-			if err != nil {
-				return Result{}, nil, stats, err
+	for _, p := range locals {
+		for i := range counts {
+			counts[i] += p.counts[i]
+			sums[i] += p.sums[i]
+			if withRange {
+				boundaryCounts[i] += p.boundary[i]
 			}
 		}
-	} else {
-		var (
-			wg     sync.WaitGroup
-			mu     sync.Mutex
-			runErr error
-		)
-		next := make(chan tileJob)
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				localCounts := make([]float64, len(regions))
-				localSums := make([]float64, len(regions))
-				var localBoundary []float64
-				if withRange {
-					localBoundary = make([]float64, len(regions))
-				}
-				var localMask int64
-				for jb := range next {
-					mp, err := plan.runTile(ps, regions, agg, jb.tx, jb.ty, localCounts, localSums, localBoundary)
-					localMask += mp
-					if err != nil {
-						mu.Lock()
-						if runErr == nil {
-							runErr = err
-						}
-						mu.Unlock()
-						break
-					}
-				}
-				mu.Lock()
-				for i := range counts {
-					counts[i] += localCounts[i]
-					sums[i] += localSums[i]
-					if withRange {
-						boundaryCounts[i] += localBoundary[i]
-					}
-				}
-				maskPixels += localMask
-				mu.Unlock()
-			}()
-		}
-		for _, jb := range jobs {
-			next <- jb
-		}
-		close(next)
-		wg.Wait()
-		if runErr != nil {
-			return Result{}, nil, stats, runErr
-		}
+		stats.MaskPixels += p.maskPixels
 	}
-	stats.MaskPixels = maskPixels
 
 	res := newResult(agg, len(regions))
 	var ivs []Interval

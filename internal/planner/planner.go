@@ -60,10 +60,28 @@ type Query struct {
 	Repetitions int
 	// MaxTextureSize caps BRJ pass size; ≤ 0 selects the default (4096).
 	MaxTextureSize int
+	// ExtremeAgg marks a MIN/MAX aggregation. The Bounded Raster Join's
+	// additive canvases carry counts and sums only, so Choose excludes
+	// StrategyBRJ — the plan then reflects the fallback instead of the
+	// executor silently swapping strategies.
+	ExtremeAgg bool
+	// CachedBuild marks strategies whose one-time build artifact (the ACT
+	// trie, the R*-tree, or the BRJ region-mask canvases) is already
+	// resident in the caller's cache: their build cost has been paid, so
+	// Estimate charges none. This is how repetition amortization extends
+	// across concurrent callers sharing one engine.
+	CachedBuild map[Strategy]bool
+	// Stats, when non-nil, is the precomputed ComputeStats of Regions;
+	// Estimate then skips its per-call region scan. Callers own keeping it
+	// consistent with Regions.
+	Stats *RegionStats
 }
 
-// regionStats summarizes the geometry-dependent inputs of the cost model.
-type regionStats struct {
+// RegionStats summarizes the geometry-dependent inputs of the cost model.
+// Computing it scans every region's vertices; callers planning repeatedly
+// over a fixed region set should ComputeStats once and pass the result via
+// Query.Stats.
+type RegionStats struct {
 	count         int
 	meanVertices  float64
 	totalPerim    float64
@@ -71,8 +89,11 @@ type regionStats struct {
 	extent        geom.Rect
 }
 
-func statsOf(regions []geom.Region) regionStats {
-	st := regionStats{count: len(regions), extent: geom.EmptyRect()}
+// ComputeStats precomputes the cost-model statistics for a region set.
+func ComputeStats(regions []geom.Region) RegionStats { return statsOf(regions) }
+
+func statsOf(regions []geom.Region) RegionStats {
+	st := RegionStats{count: len(regions), extent: geom.EmptyRect()}
 	var verts int
 	for _, rg := range regions {
 		verts += rg.NumVertices()
@@ -148,7 +169,11 @@ func (m CostModel) Estimate(q Query, s Strategy) Cost {
 	if reps < 1 {
 		reps = 1
 	}
-	st := statsOf(q.Regions)
+	st := q.Stats
+	if st == nil {
+		s := statsOf(q.Regions)
+		st = &s
+	}
 	n := float64(q.NumPoints)
 
 	var c Cost
@@ -186,7 +211,17 @@ func (m CostModel) Estimate(q Query, s Strategy) Cost {
 		}
 		side := math.Max(st.extent.Width(), st.extent.Height()) / pixel
 		tiles := math.Max(1, math.Ceil(side/maxTex))
-		c.PerRun = (maskPixels+tilePixels)*m.PixelWrite + n*m.PointScatter + tiles*tiles*1e5
+		// Mask rendering (edge walks + span fills) is the one-time half of
+		// the mask cost and is cacheable per bound; the per-run half is the
+		// read-only mask·points blend. The split keeps the one-shot total
+		// equal to the unsplit model while letting high repetition counts
+		// amortize the render.
+		maskCost := maskPixels * m.PixelWrite
+		c.Build = maskCost / 2
+		c.PerRun = maskCost/2 + tilePixels*m.PixelWrite + n*m.PointScatter + tiles*tiles*1e5
+	}
+	if q.CachedBuild[s] {
+		c.Build = 0
 	}
 	c.Total = c.Build + reps*c.PerRun
 	return c
@@ -198,11 +233,12 @@ type Plan struct {
 	Costs    map[Strategy]Cost
 }
 
-// Choose picks the cheapest strategy for q under the model. A non-positive
-// bound forces the exact plan.
+// Choose picks the cheapest strategy for q under the model. A bound that is
+// not strictly positive (including NaN) forces the exact plan; MIN/MAX
+// aggregations exclude the raster join, which cannot answer them.
 func (m CostModel) Choose(q Query) Plan {
 	p := Plan{Costs: map[Strategy]Cost{}}
-	if q.Bound <= 0 {
+	if !(q.Bound > 0) {
 		p.Strategy = StrategyExact
 		p.Costs[StrategyExact] = m.Estimate(q, StrategyExact)
 		return p
@@ -210,6 +246,9 @@ func (m CostModel) Choose(q Query) Plan {
 	best := StrategyExact
 	bestCost := math.Inf(1)
 	for _, s := range []Strategy{StrategyExact, StrategyACT, StrategyBRJ} {
+		if s == StrategyBRJ && q.ExtremeAgg {
+			continue
+		}
 		c := m.Estimate(q, s)
 		p.Costs[s] = c
 		if c.Total < bestCost {

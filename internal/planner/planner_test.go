@@ -1,6 +1,7 @@
 package planner
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -77,6 +78,78 @@ func TestEstimateMonotonicity(t *testing.T) {
 }
 
 func isInf(v float64) bool { return v > 1e300 }
+
+func TestExtremeAggExcludesBRJ(t *testing.T) {
+	m := DefaultCostModel()
+	regions := data.Regions(data.Neighborhoods(1))
+	base := Query{NumPoints: 2_000_000, Regions: regions, Bound: 10, Repetitions: 1}
+
+	plain := m.Choose(base)
+	if plain.Strategy != StrategyBRJ {
+		t.Skipf("baseline query chose %v, BRJ exclusion not observable", plain.Strategy)
+	}
+	extreme := base
+	extreme.ExtremeAgg = true
+	p := m.Choose(extreme)
+	if p.Strategy == StrategyBRJ {
+		t.Error("MIN/MAX query planned BRJ")
+	}
+	if _, ok := p.Costs[StrategyBRJ]; ok {
+		t.Error("MIN/MAX plan lists BRJ as a considered alternative")
+	}
+}
+
+func TestCachedBuildZeroesBuildCost(t *testing.T) {
+	m := DefaultCostModel()
+	regions := data.Regions(data.Neighborhoods(1))
+	base := Query{NumPoints: 100_000, Regions: regions, Bound: 2, Repetitions: 1}
+
+	cold := m.Estimate(base, StrategyACT)
+	if cold.Build <= 0 {
+		t.Fatalf("ACT estimate has no build cost: %+v", cold)
+	}
+	warm := base
+	warm.CachedBuild = map[Strategy]bool{StrategyACT: true}
+	c := m.Estimate(warm, StrategyACT)
+	if c.Build != 0 {
+		t.Errorf("cached ACT build still costs %g", c.Build)
+	}
+	if c.PerRun != cold.PerRun {
+		t.Error("caching changed the per-run cost")
+	}
+	// Other strategies keep their build cost.
+	if b := m.Estimate(warm, StrategyBRJ).Build; b <= 0 {
+		t.Error("BRJ build zeroed without being cached")
+	}
+}
+
+func TestBRJBuildRunSplitPreservesOneShotTotal(t *testing.T) {
+	m := DefaultCostModel()
+	regions := data.Regions(data.Neighborhoods(1))
+	q := Query{NumPoints: 1_000_000, Regions: regions, Bound: 10, Repetitions: 1}
+	c := m.Estimate(q, StrategyBRJ)
+	if c.Build <= 0 || c.PerRun <= 0 {
+		t.Fatalf("BRJ cost not split into build and per-run: %+v", c)
+	}
+	// With the build cached, many repetitions amortize: total over n runs is
+	// strictly less than n one-shot runs.
+	rep := q
+	rep.Repetitions = 100
+	rc := m.Estimate(rep, StrategyBRJ)
+	if rc.Total >= 100*c.Total {
+		t.Errorf("repetition did not amortize the mask render: %g vs %g", rc.Total, 100*c.Total)
+	}
+}
+
+func TestNaNBoundForcesExact(t *testing.T) {
+	m := DefaultCostModel()
+	regions := data.Regions(data.Census(1, 20))
+	nan := math.NaN()
+	p := m.Choose(Query{NumPoints: 1000, Regions: regions, Bound: nan})
+	if p.Strategy != StrategyExact {
+		t.Errorf("NaN bound chose %v", p.Strategy)
+	}
+}
 
 func TestExplain(t *testing.T) {
 	m := DefaultCostModel()

@@ -1,0 +1,79 @@
+// Package pool provides the one worker-pool primitive shared by the
+// parallel joins and the batched engine: run n independent jobs across k
+// workers, with worker-local state addressed by worker index and
+// first-error-wins semantics. Centralizing it also fixes a subtle hazard of
+// hand-rolled pools over unbuffered channels: a worker that stops
+// receiving on error would deadlock the feeder, so here workers keep
+// draining the channel after a failure without executing further jobs.
+package pool
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers clamps a requested worker count (≤ 0 selects GOMAXPROCS) to the
+// job count, minimum 1.
+func Workers(requested, jobs int) int {
+	w := requested
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > jobs {
+		w = jobs
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Run invokes fn(worker, job) for every job index in [0, n) across the
+// given number of workers. fn's worker argument lies in [0, workers):
+// callers index worker-local accumulators with it and merge after Run
+// returns. After the first error, remaining jobs are skipped and Run
+// reports that error. workers ≤ 1 runs inline in job order, stopping at
+// the first error.
+func Run(n, workers int, fn func(worker, job int) error) error {
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(0, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		first error
+	)
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := range next {
+				mu.Lock()
+				stop := first != nil
+				mu.Unlock()
+				if stop {
+					continue
+				}
+				if err := fn(w, i); err != nil {
+					mu.Lock()
+					if first == nil {
+						first = err
+					}
+					mu.Unlock()
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return first
+}
