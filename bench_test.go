@@ -304,6 +304,55 @@ func BenchmarkFig7Baseline(b *testing.B) {
 	}
 }
 
+// BenchmarkResident: repeated aggregation over a registered dataset — the
+// resident learned-index probe against streaming the same points through
+// the ACT join at the same bound (one iteration = one full aggregation on
+// warm caches; the resident path should win and stay flat in point count).
+func BenchmarkResident(b *testing.B) {
+	pts, weights := data.TaxiPoints(1, benchPoints)
+	regions := data.Regions(data.Census(13, benchCensus))
+	e := NewEngine(regions)
+	// Single-threaded on both sides: the streaming baseline below is the
+	// sequential ACT join, so the resident path must not get intra-query
+	// parallelism the baseline is denied — the measured gap is then the
+	// strategy's, not the core count's.
+	e.SetWorkers(1)
+	ds, err := e.RegisterPoints("bench", pts, weights)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const bound = 16.0
+	aj, err := join.NewACTJoiner(regions, DomainForRegions(regions...), sfc.Hilbert{}, bound, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ps := join.PointSet{Pts: pts, Weights: weights}
+	b.Run("streaming-act", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := aj.Aggregate(ps, join.Count); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("resident-pointidx", func(b *testing.B) {
+		// Warm the cover artifact, then measure probes only.
+		if _, _, err := e.AggregateDataset(ds, Count, bound, 100000); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, strat, err := e.AggregateDataset(ds, Count, bound, 100000)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if strat != StrategyPointIdx {
+				b.Fatalf("planned %v, want pointidx", strat)
+			}
+			_ = res
+		}
+	})
+}
+
 // BenchmarkAblApprox: construction cost of each approximation kind (§2.1
 // ablation; quality numbers come from cmd/spatialbench -experiment
 // ablapprox).

@@ -30,6 +30,8 @@ type loadConfig struct {
 	batch       int
 	workers     int
 	queryPoints int
+	resident    bool
+	jsonPath    string
 }
 
 // parseBounds parses a comma-separated bound list ("0,16,64").
@@ -161,24 +163,173 @@ func valuesMatch(agg distbound.Agg, want, got distbound.Result, ri int) error {
 	return nil
 }
 
+// verifyResident checks, per bound, that the sequential, parallel and
+// batched resident paths return bit-identical results (per-region probes
+// are deterministic for any worker count).
+func verifyResident(e *distbound.Engine, ds *distbound.Dataset, cfg loadConfig) error {
+	for _, bound := range cfg.bounds {
+		if bound <= 0 {
+			continue
+		}
+		for i := 0; i < 2; i++ { // warm covers and plans
+			if _, _, err := e.AggregateDataset(ds, cfg.agg, bound, cfg.repetitions); err != nil {
+				return fmt.Errorf("resident warmup bound %g: %w", bound, err)
+			}
+		}
+		e.SetWorkers(1)
+		seq, seqStrat, err := e.AggregateDataset(ds, cfg.agg, bound, cfg.repetitions)
+		if err != nil {
+			return fmt.Errorf("resident sequential bound %g: %w", bound, err)
+		}
+		e.SetWorkers(0)
+		par, parStrat, err := e.AggregateDataset(ds, cfg.agg, bound, cfg.repetitions)
+		if err != nil {
+			return fmt.Errorf("resident parallel bound %g: %w", bound, err)
+		}
+		if seqStrat != parStrat {
+			return fmt.Errorf("resident bound %g: strategy drifted between sequential (%v) and parallel (%v)",
+				bound, seqStrat, parStrat)
+		}
+		batch := e.AggregateBatch([]distbound.BatchQuery{
+			{Dataset: ds, Agg: cfg.agg, Bound: bound, Repetitions: cfg.repetitions},
+		}, 1)
+		if batch[0].Err != nil {
+			return fmt.Errorf("resident batched bound %g: %w", bound, batch[0].Err)
+		}
+		if batch[0].Strategy != seqStrat {
+			return fmt.Errorf("resident bound %g: batched query planned %v, sequential planned %v",
+				bound, batch[0].Strategy, seqStrat)
+		}
+		for ri := range seq.Counts {
+			if par.Counts[ri] != seq.Counts[ri] || batch[0].Result.Counts[ri] != seq.Counts[ri] {
+				return fmt.Errorf("resident bound %g region %d: counts disagree (seq %d par %d batch %d)",
+					bound, ri, seq.Counts[ri], par.Counts[ri], batch[0].Result.Counts[ri])
+			}
+			if err := valuesMatch(cfg.agg, seq, par, ri); err != nil {
+				return fmt.Errorf("resident bound %g region %d parallel: %w", bound, ri, err)
+			}
+			if err := valuesMatch(cfg.agg, seq, batch[0].Result, ri); err != nil {
+				return fmt.Errorf("resident bound %g region %d batched: %w", bound, ri, err)
+			}
+		}
+	}
+	return nil
+}
+
+// pathComparison is one bound's repetition-heavy head-to-head between the
+// streaming and resident paths.
+type pathComparison struct {
+	Bound             float64 `json:"bound"`
+	StreamingStrategy string  `json:"streaming_strategy"`
+	ResidentStrategy  string  `json:"resident_strategy"`
+	StreamingMS       float64 `json:"streaming_ms_per_query"`
+	ResidentMS        float64 `json:"resident_ms_per_query"`
+	Speedup           float64 `json:"speedup"`
+}
+
+// compareResident times the streaming Aggregate path against the resident
+// AggregateDataset path on the full pool, per bound, on warm caches — the
+// repetition-heavy serving scenario the resident strategy exists for.
+func compareResident(e *distbound.Engine, ds *distbound.Dataset, pool distbound.PointSet, cfg loadConfig) []pathComparison {
+	const reps = 5
+	var out []pathComparison
+	for _, bound := range cfg.bounds {
+		if bound <= 0 {
+			continue
+		}
+		var c pathComparison
+		c.Bound = bound
+		// Warm both paths so each is measured with its build cost paid.
+		if _, _, err := e.Aggregate(pool, cfg.agg, bound, cfg.repetitions); err != nil {
+			fmt.Printf("head-to-head bound %g: streaming warmup failed: %v\n", bound, err)
+			continue
+		}
+		if _, _, err := e.AggregateDataset(ds, cfg.agg, bound, cfg.repetitions); err != nil {
+			fmt.Printf("head-to-head bound %g: resident warmup failed: %v\n", bound, err)
+			continue
+		}
+		timed := func(run func() (distbound.Strategy, error)) (float64, string, error) {
+			t0 := time.Now()
+			var strat distbound.Strategy
+			for i := 0; i < reps; i++ {
+				var err error
+				if strat, err = run(); err != nil {
+					return 0, "", err
+				}
+			}
+			return float64(time.Since(t0).Microseconds()) / 1e3 / reps, strat.String(), nil
+		}
+		var err error
+		c.StreamingMS, c.StreamingStrategy, err = timed(func() (distbound.Strategy, error) {
+			_, strat, err := e.Aggregate(pool, cfg.agg, bound, cfg.repetitions)
+			return strat, err
+		})
+		if err != nil {
+			fmt.Printf("head-to-head bound %g: streaming run failed: %v\n", bound, err)
+			continue
+		}
+		c.ResidentMS, c.ResidentStrategy, err = timed(func() (distbound.Strategy, error) {
+			_, strat, err := e.AggregateDataset(ds, cfg.agg, bound, cfg.repetitions)
+			return strat, err
+		})
+		if err != nil {
+			fmt.Printf("head-to-head bound %g: resident run failed: %v\n", bound, err)
+			continue
+		}
+		if c.ResidentMS > 0 {
+			c.Speedup = c.StreamingMS / c.ResidentMS
+		}
+		fmt.Printf("head-to-head bound %g: streaming(%s)=%.1fms resident(%s)=%.1fms speedup=%.1f×\n",
+			c.Bound, c.StreamingStrategy, c.StreamingMS, c.ResidentStrategy, c.ResidentMS, c.Speedup)
+		out = append(out, c)
+	}
+	return out
+}
+
 // runLoad executes the concurrent load benchmark.
 func runLoad(cfg loadConfig) error {
-	fmt.Printf("load mode: %d clients, %v, %d-point pool, %d regions, bounds %v, agg %v, batch %d\n",
-		cfg.concurrency, cfg.duration, cfg.numPoints, cfg.censusCount, cfg.bounds, cfg.agg, cfg.batch)
+	fmt.Printf("load mode: %d clients, %v, %d-point pool, %d regions, bounds %v, agg %v, batch %d, resident %v\n",
+		cfg.concurrency, cfg.duration, cfg.numPoints, cfg.censusCount, cfg.bounds, cfg.agg, cfg.batch, cfg.resident)
 
 	pts, weights := data.TaxiPoints(cfg.seed, cfg.numPoints)
 	pool := distbound.PointSet{Pts: pts, Weights: weights}
 	regions := data.Regions(data.Census(cfg.seed+1, cfg.censusCount))
 	e := distbound.NewEngine(regions)
 
+	var ds *distbound.Dataset
+	var comparisons []pathComparison
+	if cfg.resident {
+		if cfg.queryPoints > 0 {
+			fmt.Println("note: -resident aggregates the whole pool per query; -querypoints only affects the ad-hoc verification slice")
+		}
+		t0 := time.Now()
+		var err error
+		ds, err = e.RegisterPoints("pool", pts, weights)
+		if err != nil {
+			return fmt.Errorf("registering dataset: %w", err)
+		}
+		fmt.Printf("registered resident dataset: %d points (%d outside domain), %.1f MB, built in %v\n",
+			ds.Len(), ds.Dropped(), float64(ds.MemoryBytes())/1e6, time.Since(t0).Round(time.Millisecond))
+	}
+
 	verifyStart := time.Now()
 	if err := verifyPaths(e, cfg.querySlice(pool, rand.New(rand.NewSource(cfg.seed))), cfg); err != nil {
 		return fmt.Errorf("verification failed: %w", err)
 	}
+	if cfg.resident {
+		if err := verifyResident(e, ds, cfg); err != nil {
+			return fmt.Errorf("resident verification failed: %w", err)
+		}
+	}
 	fmt.Printf("verification: counts and values agree across sequential, parallel and batched paths (%v)\n",
 		time.Since(verifyStart).Round(time.Millisecond))
 
+	// Fix the configured worker count before any timed measurement, so the
+	// head-to-head and the load phase land in one consistent configuration.
 	e.SetWorkers(cfg.workers)
+	if cfg.resident {
+		comparisons = compareResident(e, ds, pool, cfg)
+	}
 
 	type clientStats struct {
 		latencies  []time.Duration
@@ -206,10 +357,14 @@ func runLoad(cfg loadConfig) error {
 					queries := make([]distbound.BatchQuery, cfg.batch)
 					for q := range queries {
 						queries[q] = distbound.BatchQuery{
-							Points:      cfg.querySlice(pool, rng),
 							Agg:         cfg.agg,
 							Bound:       cfg.bounds[(c+i+q)%len(cfg.bounds)],
 							Repetitions: cfg.repetitions,
+						}
+						if cfg.resident {
+							queries[q].Dataset = ds
+						} else {
+							queries[q].Points = cfg.querySlice(pool, rng)
 						}
 					}
 					t0 := time.Now()
@@ -227,9 +382,18 @@ func runLoad(cfg loadConfig) error {
 					}
 				} else {
 					bound := cfg.bounds[(c+i)%len(cfg.bounds)]
-					ps := cfg.querySlice(pool, rng)
-					t0 := time.Now()
-					_, strat, err := e.Aggregate(ps, cfg.agg, bound, cfg.repetitions)
+					var (
+						strat distbound.Strategy
+						err   error
+						t0    = time.Now()
+					)
+					if cfg.resident {
+						_, strat, err = e.AggregateDataset(ds, cfg.agg, bound, cfg.repetitions)
+					} else {
+						ps := cfg.querySlice(pool, rng)
+						t0 = time.Now()
+						_, strat, err = e.Aggregate(ps, cfg.agg, bound, cfg.repetitions)
+					}
 					if err != nil {
 						clientErrs[c] = err
 						return
@@ -273,20 +437,27 @@ func runLoad(cfg loadConfig) error {
 		pct(0.50).Round(time.Microsecond), pct(0.90).Round(time.Microsecond),
 		pct(0.99).Round(time.Microsecond), all[len(all)-1].Round(time.Microsecond))
 	fmt.Printf("strategies:")
-	for _, s := range []distbound.Strategy{distbound.StrategyExact, distbound.StrategyACT, distbound.StrategyBRJ} {
+	for _, s := range []distbound.Strategy{distbound.StrategyExact, distbound.StrategyACT, distbound.StrategyBRJ, distbound.StrategyPointIdx} {
 		if n := strategies[s]; n > 0 {
 			fmt.Printf(" %v=%d", s, n)
 		}
 	}
 	fmt.Println()
-	actStats, brjStats := e.CacheStats()
-	fmt.Printf("index caches: act{hits=%d builds=%d coalesced=%d evictions=%d} brj{hits=%d builds=%d coalesced=%d evictions=%d}\n",
+	actStats, brjStats, coverStats := e.CacheStats()
+	fmt.Printf("index caches: act{hits=%d builds=%d coalesced=%d evictions=%d} brj{hits=%d builds=%d coalesced=%d evictions=%d} cover{hits=%d builds=%d coalesced=%d evictions=%d}\n",
 		actStats.Hits, actStats.Builds, actStats.Coalesced, actStats.Evictions,
-		brjStats.Hits, brjStats.Builds, brjStats.Coalesced, brjStats.Evictions)
+		brjStats.Hits, brjStats.Builds, brjStats.Coalesced, brjStats.Evictions,
+		coverStats.Hits, coverStats.Builds, coverStats.Coalesced, coverStats.Evictions)
 	for c, err := range clientErrs {
 		if err != nil {
 			return fmt.Errorf("client %d aborted: %w (numbers above are partial)", c, err)
 		}
+	}
+	if cfg.jsonPath != "" {
+		if err := writeBenchJSON(cfg, len(all), elapsed, pct, all[len(all)-1], strategies, comparisons); err != nil {
+			return fmt.Errorf("writing %s: %w", cfg.jsonPath, err)
+		}
+		fmt.Printf("wrote %s\n", cfg.jsonPath)
 	}
 	return nil
 }

@@ -9,6 +9,8 @@
 //	spatialbench -experiment fig4a -quick           # fast smoke run
 //	spatialbench -concurrency 16 -duration 10s      # engine load benchmark
 //	spatialbench -concurrency 8 -batch 32           # batched serving mode
+//	spatialbench -concurrency 8 -resident           # resident-dataset mode
+//	spatialbench -concurrency 8 -json BENCH_load.json
 //
 // Experiments: fig4a, fig4b, fig6, mem, fig7, ablapprox, ablcurve, all.
 //
@@ -18,6 +20,13 @@
 // batched execution paths return identical counts. The run reports
 // throughput, p50/p90/p99 latency, the strategy mix and index-cache
 // behavior.
+//
+// With -resident the point pool is additionally registered as a resident
+// dataset (Engine.RegisterPoints) and the load phase drives AggregateDataset
+// over the whole pool, after a per-bound head-to-head comparing the
+// streaming and resident paths on a repetition-heavy workload. -json writes
+// the run's throughput and latency percentiles as a BENCH_*.json document
+// so the performance trajectory is machine-trackable.
 package main
 
 import (
@@ -45,9 +54,15 @@ func main() {
 		batch       = flag.Int("batch", 0, "load mode: issue AggregateBatch calls of this size instead of single queries")
 		workers     = flag.Int("workers", 1, "load mode: intra-query worker count, or batch-pool size with -batch (0 = GOMAXPROCS)")
 		queryPoints = flag.Int("querypoints", 50_000, "load mode: points per query, sliced from the pool (0 = whole pool)")
+		resident    = flag.Bool("resident", false, "load mode: register the pool as a resident dataset and drive AggregateDataset")
+		jsonPath    = flag.String("json", "", "load mode: write throughput/latency results to this path as BENCH_*.json output")
 	)
 	flag.Parse()
 
+	if (*resident || *jsonPath != "") && *concurrency <= 0 {
+		fmt.Fprintln(os.Stderr, "-resident and -json require load mode (-concurrency N > 0)")
+		os.Exit(2)
+	}
 	if *concurrency > 0 {
 		bounds, err := parseBounds(*boundsFlag)
 		if err != nil {
@@ -71,6 +86,8 @@ func main() {
 			batch:       *batch,
 			workers:     *workers,
 			queryPoints: *queryPoints,
+			resident:    *resident,
+			jsonPath:    *jsonPath,
 		}
 		if err := runLoad(cfg); err != nil {
 			fmt.Fprintln(os.Stderr, err)

@@ -28,13 +28,14 @@
 package distbound
 
 import (
+	"fmt"
+
 	"distbound/internal/canvas"
 	"distbound/internal/geom"
 	"distbound/internal/join"
+	"distbound/internal/pointstore"
 	"distbound/internal/raster"
-	"distbound/internal/rs"
 	"distbound/internal/sfc"
-	"sort"
 )
 
 // Re-exported geometry types. These aliases make the internal packages'
@@ -235,52 +236,49 @@ func (ix *PolygonIndex) AggregateWithRange(ps PointSet, agg Agg) (Result, []Inte
 // learned index). Queries are arbitrary regions approximated on the fly with
 // a budgeted cover.
 type PointIndex struct {
-	domain Domain
-	curve  Curve
-	keys   []uint64
-	index  *rs.RadixSpline
+	store *pointstore.Store
 }
 
-// NewPointIndex linearizes and indexes the points over the given domain.
-func NewPointIndex(pts []Point, d Domain, c Curve) *PointIndex {
-	keys := make([]uint64, len(pts))
-	for i, p := range pts {
-		keys[i], _ = d.LeafPos(c, p)
+// NewPointIndex linearizes and indexes the points over the given domain. It
+// is an error for any point to lie outside the domain: clamping such points
+// onto border cells would let arbitrarily distant points be counted in
+// regions touching the border, silently voiding the distance-bound
+// guarantee. Grow the domain (DomainForRegions of the data extent) or
+// filter the points first.
+func NewPointIndex(pts []Point, d Domain, c Curve) (*PointIndex, error) {
+	st, err := pointstore.Build(pts, nil, d, c)
+	if err != nil {
+		return nil, fmt.Errorf("distbound: %w", err)
 	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	return &PointIndex{
-		domain: d,
-		curve:  c,
-		keys:   keys,
-		index:  rs.Build(keys, rs.DefaultRadixBits, rs.DefaultSplineError),
+	if n := st.Dropped(); n > 0 {
+		return nil, fmt.Errorf("distbound: %d of %d points lie outside the domain (origin %v, size %g)",
+			n, len(pts), d.Origin, d.Size)
 	}
+	return &PointIndex{store: st}, nil
 }
 
 // Len returns the number of indexed points.
-func (ix *PointIndex) Len() int { return len(ix.keys) }
+func (ix *PointIndex) Len() int { return ix.store.Len() }
 
 // CountIn returns the approximate number of points inside the region, using
 // a conservative cover with maxCells cells (more cells → tighter bound,
 // never an undercount). The achieved distance bound is also returned.
 func (ix *PointIndex) CountIn(rg Region, maxCells int) (count int, bound float64) {
-	a := raster.CoverBudget(rg, ix.domain, ix.curve, maxCells)
-	for _, r := range a.Ranges() {
-		count += ix.index.CountRange(r.Lo, r.Hi)
-	}
-	return count, a.MaxCellDiagonal()
+	a := raster.CoverBudget(rg, ix.store.Domain(), ix.store.Curve(), maxCells)
+	return ix.CountApprox(a), a.MaxCellDiagonal()
 }
 
 // CountApprox counts the points covered by a prebuilt approximation.
 func (ix *PointIndex) CountApprox(a *Approximation) int {
 	n := 0
 	for _, r := range a.Ranges() {
-		n += ix.index.CountRange(r.Lo, r.Hi)
+		n += ix.store.CountRange(r.Lo, r.Hi)
 	}
 	return n
 }
 
 // MemoryBytes returns the key column plus learned-index footprint.
-func (ix *PointIndex) MemoryBytes() int { return 8*len(ix.keys) + ix.index.MemoryBytes() }
+func (ix *PointIndex) MemoryBytes() int { return ix.store.MemoryBytes() }
 
 // ACTJoin is the one-shot form of the approximate aggregation join of §5.1:
 // COUNT/SUM/AVG of points per region with distance bound eps and no exact

@@ -40,7 +40,10 @@ func TestPolygonIndexLookupGuarantee(t *testing.T) {
 func TestPointIndexCountConservative(t *testing.T) {
 	ps, regions := facadeWorkload(30000)
 	d := DomainForRegions(regions...)
-	idx := NewPointIndex(ps.Pts, d, Hilbert)
+	idx, err := NewPointIndex(ps.Pts, d, Hilbert)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if idx.Len() != len(ps.Pts) || idx.MemoryBytes() <= 0 {
 		t.Error("point index accounting wrong")
 	}
@@ -66,6 +69,27 @@ func TestPointIndexCountConservative(t *testing.T) {
 		if got := idx.CountApprox(a); got != tight {
 			t.Errorf("region %d: CountApprox %d != CountIn %d", ri, got, tight)
 		}
+	}
+}
+
+// TestPointIndexRejectsOutOfDomain is the regression test for NewPointIndex
+// silently keying out-of-domain points onto clamped border cells: such
+// points would be counted in regions touching the border no matter how far
+// away they really are.
+func TestPointIndexRejectsOutOfDomain(t *testing.T) {
+	d, err := NewDomain(Pt(0, 0), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewPointIndex([]Point{Pt(50, 50), Pt(5000, 50)}, d, Hilbert); err == nil {
+		t.Fatal("index accepted a point 49× outside the domain")
+	}
+	idx, err := NewPointIndex([]Point{Pt(50, 50), Pt(99, 99)}, d, Hilbert)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Len() != 2 {
+		t.Errorf("in-domain points indexed: %d, want 2", idx.Len())
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"distbound/internal/cache"
 	"distbound/internal/join"
 	"distbound/internal/planner"
+	"distbound/internal/pointstore"
 	"distbound/internal/pool"
 )
 
@@ -16,9 +17,10 @@ type Strategy = planner.Strategy
 
 // Physical plan strategies.
 const (
-	StrategyExact = planner.StrategyExact
-	StrategyACT   = planner.StrategyACT
-	StrategyBRJ   = planner.StrategyBRJ
+	StrategyExact    = planner.StrategyExact
+	StrategyACT      = planner.StrategyACT
+	StrategyBRJ      = planner.StrategyBRJ
+	StrategyPointIdx = planner.StrategyPointIdx
 )
 
 // CostModel holds the planner's calibrated per-operation constants.
@@ -36,19 +38,27 @@ const DefaultIndexCacheCapacity = 8
 // it (BRJJoiner.MemoryBytes reports a resident set's footprint).
 const DefaultBRJCacheCapacity = 2
 
+// DefaultCoverCacheCapacity bounds the per-(dataset, bound) cover cache of
+// the resident point-index strategy: each entry is the merged cover ranges
+// of every region at one bound (16 bytes per range — megabytes at fine
+// bounds, far smaller than an ACT trie). Resize with SetCoverCacheCapacity.
+const DefaultCoverCacheCapacity = 8
+
 // Engine answers spatial aggregation queries over a fixed region set,
 // choosing the physical plan with the §4 cost-based planner: the exact
-// filter-and-refine join, the ACT-indexed approximate join, or the Bounded
-// Raster Join — whichever is estimated cheapest for the requested bound and
-// expected repetitions.
+// filter-and-refine join, the ACT-indexed approximate join, the Bounded
+// Raster Join, or — for datasets registered with RegisterPoints — the
+// resident learned-index probe — whichever is estimated cheapest for the
+// requested bound and expected repetitions.
 //
 // Engine is a serving layer: all methods are safe for concurrent use by any
 // number of goroutines. Lazily built artifacts (the R*-tree, one ACT trie
-// per bound, one set of BRJ mask canvases per bound) are cached in bounded
-// LRU caches with singleflight build deduplication — concurrent misses on
-// the same bound run one build and share it. The planner is told which
-// artifacts are already resident, so cached-index reuse across concurrent
-// callers participates in its repetition amortization.
+// per bound, one set of BRJ mask canvases per bound, one cover artifact per
+// registered dataset and bound) are cached in bounded LRU caches with
+// singleflight build deduplication — concurrent misses on the same bound
+// run one build and share it. The planner is told which artifacts are
+// already resident, so cached-index reuse across concurrent callers
+// participates in its repetition amortization.
 type Engine struct {
 	regions []Region
 	domain  Domain
@@ -62,17 +72,33 @@ type Engine struct {
 	exact     atomic.Pointer[join.RStarJoiner]
 	act       *cache.Cache[float64, *join.ACTJoiner]
 	brj       *cache.Cache[float64, *join.BRJJoiner]
+
+	dsMu     sync.RWMutex // guards datasets
+	datasets map[string]*Dataset
+	pidx     *cache.Cache[pidxKey, *join.PointIdxJoiner]
+}
+
+// pidxKey identifies one resident probe artifact: the cover ranges of every
+// region at one bound, paired with one registered dataset's store. Keying by
+// store identity (not name) means an entry outliving UnregisterPoints can
+// never be served to a same-named successor dataset — it just ages out of
+// the LRU.
+type pidxKey struct {
+	store *pointstore.Store
+	bound float64
 }
 
 // NewEngine creates an engine over the region set.
 func NewEngine(regions []Region) *Engine {
 	return &Engine{
-		regions: regions,
-		domain:  DomainForRegions(regions...),
-		stats:   planner.ComputeStats(regions),
-		model:   planner.DefaultCostModel(),
-		act:     cache.New[float64, *join.ACTJoiner](DefaultIndexCacheCapacity),
-		brj:     cache.New[float64, *join.BRJJoiner](DefaultBRJCacheCapacity),
+		regions:  regions,
+		domain:   DomainForRegions(regions...),
+		stats:    planner.ComputeStats(regions),
+		model:    planner.DefaultCostModel(),
+		act:      cache.New[float64, *join.ACTJoiner](DefaultIndexCacheCapacity),
+		brj:      cache.New[float64, *join.BRJJoiner](DefaultBRJCacheCapacity),
+		datasets: map[string]*Dataset{},
+		pidx:     cache.New[pidxKey, *join.PointIdxJoiner](DefaultCoverCacheCapacity),
 	}
 }
 
@@ -121,6 +147,13 @@ func (e *Engine) SetMaskCacheCapacity(n int) {
 	e.brj.SetCapacity(n)
 }
 
+// SetCoverCacheCapacity bounds how many (dataset, bound) cover artifacts of
+// the resident point-index strategy stay resident (default
+// DefaultCoverCacheCapacity); least recently used entries are evicted.
+func (e *Engine) SetCoverCacheCapacity(n int) {
+	e.pidx.SetCapacity(n)
+}
+
 // costModel snapshots the planner constants.
 func (e *Engine) costModel() planner.CostModel {
 	e.mu.RLock()
@@ -167,6 +200,176 @@ func (e *Engine) PlanFor(numPoints int, agg Agg, bound float64, repetitions int)
 // every strategy supports).
 func (e *Engine) Plan(numPoints int, bound float64, repetitions int) planner.Plan {
 	return e.PlanFor(numPoints, Count, bound, repetitions)
+}
+
+// Dataset is a handle to a point dataset registered with RegisterPoints: the
+// original point relation plus its resident artifact — SFC-sorted keys under
+// a learned index with prefix-sum and block min/max columns. Handles are
+// immutable and safe for concurrent use; queries taking a handle may be
+// answered by StrategyPointIdx without re-streaming the points.
+type Dataset struct {
+	name  string
+	ps    PointSet
+	store *pointstore.Store
+}
+
+// Name returns the registration name.
+func (d *Dataset) Name() string { return d.name }
+
+// Len returns the number of points in the dataset.
+func (d *Dataset) Len() int { return len(d.ps.Pts) }
+
+// Dropped returns how many points fell outside the engine's domain and are
+// excluded from the resident index. Such points lie outside every region's
+// extent and can never match; the streaming strategies skip them the same
+// way, so all plans agree.
+func (d *Dataset) Dropped() int { return d.store.Dropped() }
+
+// MemoryBytes returns the resident artifact's footprint (columns plus
+// learned index), excluding the caller-owned point slices.
+func (d *Dataset) MemoryBytes() int { return d.store.MemoryBytes() }
+
+// RegisterPoints builds the resident artifact for a point dataset over the
+// engine's domain and registers it under name, returning the query handle.
+// The weight column may be nil, restricting the dataset to COUNT
+// aggregations; weights must be finite (a NaN/Inf weight cannot live in a
+// prefix-sum column without diverging from the streaming aggregates). The
+// build is one sort plus one learned-index pass; the caller must not mutate
+// pts or weights afterwards. Registering an already registered name is an
+// error.
+func (e *Engine) RegisterPoints(name string, pts []Point, weights []float64) (*Dataset, error) {
+	if name == "" {
+		return nil, fmt.Errorf("distbound: dataset name must be non-empty")
+	}
+	e.dsMu.RLock()
+	_, dup := e.datasets[name]
+	e.dsMu.RUnlock()
+	if dup {
+		return nil, fmt.Errorf("distbound: dataset %q already registered", name)
+	}
+	store, err := pointstore.Build(pts, weights, e.domain, Hilbert)
+	if err != nil {
+		return nil, fmt.Errorf("distbound: building point store: %w", err)
+	}
+	ds := &Dataset{name: name, ps: PointSet{Pts: pts, Weights: weights}, store: store}
+	e.dsMu.Lock()
+	defer e.dsMu.Unlock()
+	if _, dup := e.datasets[name]; dup {
+		return nil, fmt.Errorf("distbound: dataset %q already registered", name)
+	}
+	e.datasets[name] = ds
+	return ds, nil
+}
+
+// Dataset returns the handle registered under name, if any.
+func (e *Engine) Dataset(name string) (*Dataset, bool) {
+	e.dsMu.RLock()
+	defer e.dsMu.RUnlock()
+	ds, ok := e.datasets[name]
+	return ds, ok
+}
+
+// UnregisterPoints removes the dataset registered under name, freeing the
+// name for re-registration; it reports whether a dataset was registered.
+// Outstanding queries holding the old handle fail their next call. The
+// dataset's cover artifacts are not flushed eagerly — they are keyed by the
+// store's identity, so they can never be served to a successor dataset and
+// simply age out of the bounded cover cache, releasing the store's memory
+// with them.
+func (e *Engine) UnregisterPoints(name string) bool {
+	e.dsMu.Lock()
+	defer e.dsMu.Unlock()
+	_, ok := e.datasets[name]
+	delete(e.datasets, name)
+	return ok
+}
+
+// checkDataset rejects handles that were not registered with this engine —
+// a foreign handle's store is keyed over a different domain, so probing it
+// with this engine's covers would silently return garbage.
+func (e *Engine) checkDataset(ds *Dataset) error {
+	if ds == nil {
+		return fmt.Errorf("distbound: nil dataset handle")
+	}
+	e.dsMu.RLock()
+	cur := e.datasets[ds.name]
+	e.dsMu.RUnlock()
+	if cur != ds {
+		return fmt.Errorf("distbound: dataset %q is not registered with this engine", ds.name)
+	}
+	return nil
+}
+
+// PlanForDataset is PlanFor for a registered dataset: the resident
+// learned-index strategy joins the candidate set, and its cover artifact's
+// residency participates in build-cost amortization like the other caches.
+// Like AggregateDataset, it rejects handles not registered with this
+// engine — planning a foreign handle against this engine's regions would
+// produce a plan no execution path honors.
+func (e *Engine) PlanForDataset(ds *Dataset, agg Agg, bound float64, repetitions int) (planner.Plan, error) {
+	if err := e.checkDataset(ds); err != nil {
+		return planner.Plan{}, err
+	}
+	return e.planDataset(ds, agg, bound, repetitions), nil
+}
+
+// planDataset is PlanForDataset for handles already validated.
+func (e *Engine) planDataset(ds *Dataset, agg Agg, bound float64, repetitions int) planner.Plan {
+	cached := e.cachedBuilds(bound)
+	if e.pidx.ContainsReady(pidxKey{store: ds.store, bound: bound}) {
+		cached[StrategyPointIdx] = true
+	}
+	return e.costModel().Choose(planner.Query{
+		NumPoints:      ds.Len(),
+		Regions:        e.regions,
+		Bound:          bound,
+		Repetitions:    repetitions,
+		ExtremeAgg:     agg == Min || agg == Max,
+		ResidentPoints: true,
+		CachedBuild:    cached,
+		Stats:          &e.stats,
+	})
+}
+
+// AggregateDataset answers the aggregation query over a registered dataset
+// with the planner-selected strategy. The learned-index strategy probes the
+// resident store through each region's cover ranges; all other strategies
+// stream the dataset's points exactly as Aggregate would, so ad-hoc and
+// handle-bearing queries over the same points agree plan-for-plan. Safe for
+// concurrent use.
+func (e *Engine) AggregateDataset(ds *Dataset, agg Agg, bound float64, repetitions int) (Result, Strategy, error) {
+	if err := e.checkDataset(ds); err != nil {
+		return Result{}, StrategyExact, err
+	}
+	plan := e.planDataset(ds, agg, bound, repetitions)
+	res, err := e.runDataset(ds, agg, bound, plan.Strategy, e.Workers())
+	return res, plan.Strategy, err
+}
+
+// runDataset executes one dataset query on a fixed strategy.
+func (e *Engine) runDataset(ds *Dataset, agg Agg, bound float64, strategy Strategy, workers int) (Result, error) {
+	if strategy == StrategyPointIdx {
+		j, err := e.pointIdxJoiner(ds, bound, workers)
+		if err != nil {
+			return Result{}, err
+		}
+		return j.AggregateParallel(agg, workers)
+	}
+	return e.run(ds.ps, agg, bound, strategy, workers)
+}
+
+// pointIdxJoiner returns the cover/probe artifact for (dataset, bound),
+// building it under the cache's singleflight on a miss. Like BRJ mask
+// builds, a cold cover rasterization fans out across the caller's worker
+// budget and never exceeds the parallelism the query itself was granted.
+func (e *Engine) pointIdxJoiner(ds *Dataset, bound float64, workers int) (*join.PointIdxJoiner, error) {
+	j, err := e.pidx.GetOrBuild(pidxKey{store: ds.store, bound: bound}, func() (*join.PointIdxJoiner, error) {
+		return join.NewPointIdxJoiner(e.regions, ds.store, bound, workers)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("distbound: building point-index covers: %w", err)
+	}
+	return j, nil
 }
 
 // Aggregate answers the aggregation query with the planner-selected
@@ -238,8 +441,13 @@ func (e *Engine) brjJoiner(bound float64, workers int) (*join.BRJJoiner, error) 
 
 // BatchQuery is one query of an AggregateBatch call.
 type BatchQuery struct {
-	// Points is the point relation of this query.
+	// Points is the point relation of this query; ignored when Dataset is
+	// set.
 	Points PointSet
+	// Dataset, when non-nil, aggregates the registered resident dataset
+	// instead of Points: the planner may then answer through the learned-
+	// index strategy without streaming any points.
+	Dataset *Dataset
 	// Agg selects the aggregation function.
 	Agg Agg
 	// Bound is the distance bound; ≤ 0 requests exact answers.
@@ -284,13 +492,23 @@ func (e *Engine) AggregateBatch(queries []BatchQuery, workers int) []BatchResult
 	// them toward a COUNT query's amortization could credit a mask build
 	// the extremes will never touch (they still share ACT builds at
 	// execution time via the cache; under-crediting that is conservative).
+	// Dataset queries are keyed separately as well: their learned-index
+	// artifact is per-(dataset, bound), so crediting it to ad-hoc queries
+	// (or vice versa) could promise sharing that never happens. The builds
+	// they can genuinely share (ACT at the same bound) still coalesce in
+	// the cache at execution time; under-crediting that is conservative.
 	type shareKey struct {
 		bound   float64
 		extreme bool
+		dataset string
 	}
 	sharing := map[shareKey]int{}
 	keyOf := func(q BatchQuery) shareKey {
-		return shareKey{bound: q.Bound, extreme: q.Agg == Min || q.Agg == Max}
+		k := shareKey{bound: q.Bound, extreme: q.Agg == Min || q.Agg == Max}
+		if q.Dataset != nil {
+			k.dataset = q.Dataset.name
+		}
+		return k
 	}
 	for _, q := range queries {
 		sharing[keyOf(q)]++
@@ -299,14 +517,24 @@ func (e *Engine) AggregateBatch(queries []BatchQuery, workers int) []BatchResult
 	// Plan before executing anything: plans then reflect the batch-entry
 	// cache state instead of whatever builds happen to finish mid-batch,
 	// which would make strategy choice depend on worker interleaving.
+	// Invalid dataset handles fail here, per query, without planning.
 	strategies := make([]Strategy, len(queries))
+	planErrs := make([]error, len(queries))
 	for i, q := range queries {
 		reps := q.Repetitions
 		if reps < 1 {
 			reps = 1
 		}
 		reps += sharing[keyOf(q)] - 1
-		strategies[i] = e.PlanFor(len(q.Points.Pts), q.Agg, q.Bound, reps).Strategy
+		if q.Dataset != nil {
+			if err := e.checkDataset(q.Dataset); err != nil {
+				planErrs[i] = err
+				continue
+			}
+			strategies[i] = e.planDataset(q.Dataset, q.Agg, q.Bound, reps).Strategy
+		} else {
+			strategies[i] = e.PlanFor(len(q.Points.Pts), q.Agg, q.Bound, reps).Strategy
+		}
 	}
 
 	// Per-query failures land in results[i].Err rather than aborting the
@@ -314,7 +542,19 @@ func (e *Engine) AggregateBatch(queries []BatchQuery, workers int) []BatchResult
 	results := make([]BatchResult, len(queries))
 	pool.Run(len(queries), workers, func(_, i int) error {
 		q := queries[i]
-		res, err := e.run(q.Points, q.Agg, q.Bound, strategies[i], 1)
+		if planErrs[i] != nil {
+			results[i] = BatchResult{Err: planErrs[i]}
+			return nil
+		}
+		var (
+			res Result
+			err error
+		)
+		if q.Dataset != nil {
+			res, err = e.runDataset(q.Dataset, q.Agg, q.Bound, strategies[i], 1)
+		} else {
+			res, err = e.run(q.Points, q.Agg, q.Bound, strategies[i], 1)
+		}
 		results[i] = BatchResult{Result: res, Strategy: strategies[i], Err: err}
 		return nil
 	})
@@ -322,10 +562,10 @@ func (e *Engine) AggregateBatch(queries []BatchQuery, workers int) []BatchResult
 }
 
 // CacheStats reports the engine's index-cache counters (hits, misses,
-// builds, coalesced waits on in-flight builds, evictions) for the ACT and
-// BRJ caches.
-func (e *Engine) CacheStats() (act, brj cache.Stats) {
-	return e.act.Stats(), e.brj.Stats()
+// builds, coalesced waits on in-flight builds, evictions) for the ACT, BRJ
+// and resident-cover caches.
+func (e *Engine) CacheStats() (act, brj, cover cache.Stats) {
+	return e.act.Stats(), e.brj.Stats(), e.pidx.Stats()
 }
 
 // ExplainFor renders the cost comparison for a query, marking the chosen
@@ -337,4 +577,16 @@ func (e *Engine) ExplainFor(numPoints int, agg Agg, bound float64, repetitions i
 // Explain is ExplainFor for a COUNT-like aggregation.
 func (e *Engine) Explain(numPoints int, bound float64, repetitions int) string {
 	return e.ExplainFor(numPoints, Count, bound, repetitions)
+}
+
+// ExplainDataset renders the cost comparison for a query over a registered
+// dataset, marking the chosen plan; the comparison includes the resident
+// learned-index strategy. It errors on handles not registered with this
+// engine.
+func (e *Engine) ExplainDataset(ds *Dataset, agg Agg, bound float64, repetitions int) (string, error) {
+	plan, err := e.PlanForDataset(ds, agg, bound, repetitions)
+	if err != nil {
+		return "", err
+	}
+	return plan.Explain(), nil
 }

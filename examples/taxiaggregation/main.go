@@ -59,7 +59,10 @@ func main() {
 	// Distance-bounded raster counts via the learned point index, at three
 	// bounds.
 	domain := data.CityDomain()
-	idx := distbound.NewPointIndex(pts, domain, distbound.Hilbert)
+	idx, err := distbound.NewPointIndex(pts, domain, distbound.Hilbert)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Printf("region P: %d vertices, area %.1f km²\n", len(ring), p.Area()/1e6)
 	fmt.Printf("%-22s %8s  %s\n", "method", "count", "error interpretation")

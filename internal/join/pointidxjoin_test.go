@@ -1,0 +1,190 @@
+package join
+
+import (
+	"math"
+	"testing"
+
+	"distbound/internal/data"
+	"distbound/internal/geom"
+	"distbound/internal/pointstore"
+	"distbound/internal/sfc"
+)
+
+func pointIdxFixture(t *testing.T, n int, withWeights bool) (PointSet, []geom.Region, *pointstore.Store) {
+	t.Helper()
+	pts, weights := data.TaxiPoints(31, n)
+	if !withWeights {
+		weights = nil
+	}
+	ps := PointSet{Pts: pts, Weights: weights}
+	regions := data.Regions(data.Partition(32, 4, 4, 6))
+	store, err := pointstore.Build(pts, weights, data.CityDomain(), sfc.Hilbert{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ps, regions, store
+}
+
+// TestPointIdxMatchesACTBitIdentical pins the core agreement guarantee: the
+// resident probe join and the streaming ACT join evaluate the same covers
+// over the same keys, so COUNT and MIN/MAX must match bit-for-bit and
+// SUM/AVG within float re-association.
+func TestPointIdxMatchesACTBitIdentical(t *testing.T) {
+	ps, regions, store := pointIdxFixture(t, 20000, true)
+	d := data.CityDomain()
+	for _, bound := range []float64{16, 64} {
+		act, err := NewACTJoiner(regions, d, sfc.Hilbert{}, bound, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pj, err := NewPointIdxJoiner(regions, store, bound, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pj.Bound() != bound || pj.NumRanges() == 0 || pj.MemoryBytes() <= 0 {
+			t.Fatalf("bound %g: joiner accounting wrong", bound)
+		}
+		for _, agg := range []Agg{Count, Sum, Avg, Min, Max} {
+			want, err := act.Aggregate(ps, agg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := pj.Aggregate(agg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for ri := range regions {
+				if got.Counts[ri] != want.Counts[ri] {
+					t.Fatalf("bound %g %v region %d: count %d != ACT %d",
+						bound, agg, ri, got.Counts[ri], want.Counts[ri])
+				}
+				switch agg {
+				case Min, Max:
+					if got.Extremes[ri] != want.Extremes[ri] {
+						t.Fatalf("bound %g %v region %d: extreme %g != ACT %g",
+							bound, agg, ri, got.Extremes[ri], want.Extremes[ri])
+					}
+				case Sum, Avg:
+					w, g := want.Value(ri), got.Value(ri)
+					if math.Abs(g-w) > 1e-9*math.Max(math.Abs(w), 1) {
+						t.Fatalf("bound %g %v region %d: value %g != ACT %g", bound, agg, ri, g, w)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPointIdxWithinBoundGuarantee is the property test against ground
+// truth: over random points and regions, every aggregate from the resident
+// join must respect the conservative distance-bound guarantee — counts never
+// undercount the exact answer, every overcounted point lies within the bound
+// of the region's boundary, and MIN/MAX extremes dominate the exact ones.
+func TestPointIdxWithinBoundGuarantee(t *testing.T) {
+	ps, regions, store := pointIdxFixture(t, 8000, true)
+	const bound = 32.0
+	pj, err := NewPointIdxJoiner(regions, store, bound, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, agg := range []Agg{Count, Sum, Min, Max} {
+		exact, err := BruteForce(ps, regions, agg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := pj.Aggregate(agg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ri, rg := range regions {
+			// Conservative covers admit no false negatives: every exactly
+			// contained point is counted.
+			if got.Counts[ri] < exact.Counts[ri] {
+				t.Fatalf("%v region %d: conservative count undercounts (%d < %d)",
+					agg, ri, got.Counts[ri], exact.Counts[ri])
+			}
+			switch agg {
+			case Min:
+				if exact.Counts[ri] > 0 && got.Extremes[ri] > exact.Extremes[ri] {
+					t.Fatalf("region %d: approximate MIN %g above exact %g",
+						ri, got.Extremes[ri], exact.Extremes[ri])
+				}
+			case Max:
+				if exact.Counts[ri] > 0 && got.Extremes[ri] < exact.Extremes[ri] {
+					t.Fatalf("region %d: approximate MAX %g below exact %g",
+						ri, got.Extremes[ri], exact.Extremes[ri])
+				}
+			}
+			// Every overcounted point lies within the bound of the boundary:
+			// check via the count of points within the dilated region.
+			if agg == Count {
+				var within int64
+				for _, p := range ps.Pts {
+					if rg.ContainsPoint(p) || rg.BoundaryDist(p) <= bound {
+						within++
+					}
+				}
+				if got.Counts[ri] > within {
+					t.Fatalf("region %d: count %d exceeds points within bound %d",
+						ri, got.Counts[ri], within)
+				}
+			}
+		}
+		if agg == Count {
+			if med := MedianRelativeError(got, exact); med > 0.02 {
+				t.Errorf("median relative COUNT error %g implausibly large", med)
+			}
+		}
+	}
+}
+
+// TestPointIdxParallelDeterministic: region-sharded execution must return
+// results identical to sequential for any worker count — including float
+// sums, since each region is folded wholly by one worker.
+func TestPointIdxParallelDeterministic(t *testing.T) {
+	_, regions, store := pointIdxFixture(t, 10000, true)
+	pj, err := NewPointIdxJoiner(regions, store, 16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, agg := range []Agg{Count, Sum, Avg, Min, Max} {
+		seq, err := pj.Aggregate(agg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{0, 2, 7, 64} {
+			par, err := pj.AggregateParallel(agg, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for ri := range regions {
+				if par.Counts[ri] != seq.Counts[ri] {
+					t.Fatalf("%v workers=%d region %d: count drift", agg, workers, ri)
+				}
+				if par.Value(ri) != seq.Value(ri) {
+					t.Fatalf("%v workers=%d region %d: value %g != %g",
+						agg, workers, ri, par.Value(ri), seq.Value(ri))
+				}
+			}
+		}
+	}
+}
+
+func TestPointIdxValidation(t *testing.T) {
+	_, regions, store := pointIdxFixture(t, 100, false)
+	if _, err := NewPointIdxJoiner(regions, store, 0, 0); err == nil {
+		t.Error("zero bound accepted")
+	}
+	pj, err := NewPointIdxJoiner(regions, store, 16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pj.Aggregate(Count); err != nil {
+		t.Errorf("COUNT on a weightless store failed: %v", err)
+	}
+	for _, agg := range []Agg{Sum, Avg, Min, Max} {
+		if _, err := pj.Aggregate(agg); err == nil {
+			t.Errorf("%v on a weightless store accepted", agg)
+		}
+	}
+}

@@ -31,6 +31,11 @@ const (
 	// proportional to canvas pixels — attractive for one-shot queries at
 	// moderate bounds.
 	StrategyBRJ
+	// StrategyPointIdx probes a resident learned-indexed point store with
+	// each region's cover ranges: per-run cost proportional to cover ranges,
+	// independent of the point count. Available only when the query's point
+	// side is a registered dataset (Query.ResidentPoints).
+	StrategyPointIdx
 )
 
 // String implements fmt.Stringer.
@@ -40,6 +45,8 @@ func (s Strategy) String() string {
 		return "exact(R*)"
 	case StrategyACT:
 		return "act"
+	case StrategyPointIdx:
+		return "pointidx"
 	default:
 		return "brj"
 	}
@@ -65,6 +72,10 @@ type Query struct {
 	// StrategyBRJ — the plan then reflects the fallback instead of the
 	// executor silently swapping strategies.
 	ExtremeAgg bool
+	// ResidentPoints marks the point side as a registered dataset: SFC-sorted
+	// and learned-indexed once, resident in memory. Only then is
+	// StrategyPointIdx available — an ad-hoc PointSet has no index to probe.
+	ResidentPoints bool
 	// CachedBuild marks strategies whose one-time build artifact (the ACT
 	// trie, the R*-tree, or the BRJ region-mask canvases) is already
 	// resident in the caller's cache: their build cost has been paid, so
@@ -141,6 +152,9 @@ type CostModel struct {
 	PixelWrite float64
 	// PointScatter is the per-point cost of rendering points to a canvas.
 	PointScatter float64
+	// RangeProbe is the cost of one resident-store range probe: two learned-
+	// index lookups plus the prefix-sum / block-aggregate folds.
+	RangeProbe float64
 }
 
 // DefaultCostModel returns constants measured on the reference machine
@@ -153,8 +167,14 @@ func DefaultCostModel() CostModel {
 		PIPPerVertex:   4,
 		PixelWrite:     2.5,
 		PointScatter:   25,
+		RangeProbe:     120,
 	}
 }
+
+// rangeMergeFactor estimates how many raw cover cells coalesce into one
+// probed leaf range: Hilbert locality makes adjacent cover cells contiguous
+// on the curve, so merged ranges are a small fraction of the cell count.
+const rangeMergeFactor = 3
 
 // Cost is an estimated execution profile in nanoseconds.
 type Cost struct {
@@ -219,6 +239,19 @@ func (m CostModel) Estimate(q Query, s Strategy) Cost {
 		maskCost := maskPixels * m.PixelWrite
 		c.Build = maskCost / 2
 		c.PerRun = maskCost/2 + tilePixels*m.PixelWrite + n*m.PointScatter + tiles*tiles*1e5
+	case StrategyPointIdx:
+		cellSide := q.Bound / math.Sqrt2
+		if cellSide <= 0 || !q.ResidentPoints {
+			return Cost{Total: math.Inf(1)}
+		}
+		// Build: the same per-region HR rasterization ACT pays (the point
+		// store itself was built at registration and is shared by every
+		// bound, so it charges nothing here). Per run: one range probe per
+		// merged cover range — independent of the point count, which is the
+		// whole attraction for large resident datasets.
+		cells := 2 * st.totalPerim / cellSide
+		c.Build = cells * m.TrieCellBuild
+		c.PerRun = cells / rangeMergeFactor * m.RangeProbe
 	}
 	if q.CachedBuild[s] {
 		c.Build = 0
@@ -235,7 +268,8 @@ type Plan struct {
 
 // Choose picks the cheapest strategy for q under the model. A bound that is
 // not strictly positive (including NaN) forces the exact plan; MIN/MAX
-// aggregations exclude the raster join, which cannot answer them.
+// aggregations exclude the raster join, which cannot answer them; the
+// learned-index probe strategy is considered only for resident datasets.
 func (m CostModel) Choose(q Query) Plan {
 	p := Plan{Costs: map[Strategy]Cost{}}
 	if !(q.Bound > 0) {
@@ -245,8 +279,11 @@ func (m CostModel) Choose(q Query) Plan {
 	}
 	best := StrategyExact
 	bestCost := math.Inf(1)
-	for _, s := range []Strategy{StrategyExact, StrategyACT, StrategyBRJ} {
+	for _, s := range []Strategy{StrategyExact, StrategyACT, StrategyBRJ, StrategyPointIdx} {
 		if s == StrategyBRJ && q.ExtremeAgg {
+			continue
+		}
+		if s == StrategyPointIdx && !q.ResidentPoints {
 			continue
 		}
 		c := m.Estimate(q, s)

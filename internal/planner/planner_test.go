@@ -166,6 +166,52 @@ func TestExplain(t *testing.T) {
 	}
 }
 
+func TestPointIdxRequiresResidentPoints(t *testing.T) {
+	m := DefaultCostModel()
+	regions := data.Regions(data.Neighborhoods(1))
+	q := Query{NumPoints: 2_000_000, Regions: regions, Bound: 16, Repetitions: 100000}
+
+	// Ad-hoc point sets have no index to probe: infeasible, never chosen.
+	if c := m.Estimate(q, StrategyPointIdx); !isInf(c.Total) {
+		t.Error("pointidx feasible without a resident dataset")
+	}
+	p := m.Choose(q)
+	if p.Strategy == StrategyPointIdx {
+		t.Error("pointidx chosen for an ad-hoc point set")
+	}
+	if _, ok := p.Costs[StrategyPointIdx]; ok {
+		t.Error("ad-hoc plan lists pointidx as a considered alternative")
+	}
+
+	// Resident, repetition-heavy, large dataset: per-run cost independent of
+	// the point count must beat per-point streaming.
+	q.ResidentPoints = true
+	p = m.Choose(q)
+	if p.Strategy != StrategyPointIdx {
+		t.Errorf("repeated resident query planned %v (costs: %v)", p.Strategy, p.Costs)
+	}
+	if !strings.Contains(p.Explain(), "pointidx") {
+		t.Error("Explain omits pointidx for a resident query")
+	}
+
+	// The per-run cost must not depend on the point count (that is the whole
+	// point), while ACT's does.
+	small := m.Estimate(Query{NumPoints: 1000, Regions: regions, Bound: 16, ResidentPoints: true}, StrategyPointIdx)
+	big := m.Estimate(q, StrategyPointIdx)
+	if small.PerRun != big.PerRun {
+		t.Error("pointidx per-run cost depends on the point count")
+	}
+	// Cached covers zero the build cost like every other strategy.
+	cached := q
+	cached.CachedBuild = map[Strategy]bool{StrategyPointIdx: true}
+	if c := m.Estimate(cached, StrategyPointIdx); c.Build != 0 {
+		t.Errorf("cached pointidx build still costs %g", c.Build)
+	}
+	if StrategyPointIdx.String() != "pointidx" {
+		t.Error("strategy name wrong")
+	}
+}
+
 func TestStatsOf(t *testing.T) {
 	regions := data.Regions(data.Census(1, 50))
 	st := statsOf(regions)

@@ -1,0 +1,204 @@
+// Package pointstore implements the resident half of the paper's §3 point
+// pipeline: a point dataset linearized to SFC leaf keys, sorted once, and
+// kept in memory as an immutable columnar artifact a learned index probes.
+//
+// The store holds the sorted key column under a RadixSpline, plus — when the
+// dataset carries a weight attribute — a co-sorted weight column with a
+// prefix-sum column (SUM/AVG over any key range is two prefix lookups) and
+// sparse per-block min/max aggregates (MIN/MAX over a range folds whole
+// blocks and scans only the two partial blocks at the ends). Together these
+// answer COUNT/SUM/AVG/MIN/MAX over a 1D key range in O(log + range/BlockSize)
+// instead of O(points), which is what lets a serving engine answer repeated
+// aggregations over the same points without re-streaming them.
+package pointstore
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"distbound/internal/geom"
+	"distbound/internal/rs"
+	"distbound/internal/sfc"
+)
+
+// BlockSize is the width of the sparse min/max blocks: small enough that
+// partial-block scans at range ends stay cheap, large enough that the block
+// columns add under 1% to the weight column's footprint.
+const BlockSize = 256
+
+// Store is an immutable, SFC-sorted point dataset with range-aggregate
+// columns. Build once, then share freely: all methods are read-only and safe
+// for concurrent use.
+type Store struct {
+	domain sfc.Domain
+	curve  sfc.Curve
+
+	keys    []uint64  // sorted leaf positions
+	weights []float64 // co-sorted attribute column; nil when absent
+	prefix  []float64 // prefix[i] = sum(weights[:i]); nil when absent
+	blockMin,
+	blockMax []float64 // per-BlockSize min/max of weights; nil when absent
+
+	index   *rs.RadixSpline
+	dropped int
+}
+
+// Build linearizes the points over the domain, sorts them by key (co-sorting
+// the optional weight column), and builds the learned index plus the range-
+// aggregate columns. Points outside the domain are excluded and counted in
+// Dropped: their clamped border key would let far-away points match border
+// regions, and since every region cover lies inside the domain they can
+// never truly match — excluding them is exactly what the streaming joins do
+// when they skip out-of-domain points.
+//
+// Weights must be finite: a NaN or ±Inf weight cannot be represented in a
+// prefix-sum column (its poison spreads to ranges that do not contain the
+// point, where a streaming join would localize it), so Build rejects it
+// instead of silently diverging from the streaming aggregates.
+func Build(pts []geom.Point, weights []float64, d sfc.Domain, c sfc.Curve) (*Store, error) {
+	if weights != nil && len(weights) != len(pts) {
+		return nil, fmt.Errorf("pointstore: %d weights for %d points", len(weights), len(pts))
+	}
+	for i, w := range weights {
+		if math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("pointstore: weight %d is %v; prefix-sum aggregation requires finite weights", i, w)
+		}
+	}
+	s := &Store{domain: d, curve: c}
+	keys := make([]uint64, 0, len(pts))
+	var ws []float64
+	if weights != nil {
+		ws = make([]float64, 0, len(pts))
+	}
+	for i, p := range pts {
+		pos, ok := d.LeafPos(c, p)
+		if !ok {
+			s.dropped++
+			continue
+		}
+		keys = append(keys, pos)
+		if weights != nil {
+			ws = append(ws, weights[i])
+		}
+	}
+
+	if ws != nil {
+		ord := make([]int, len(keys))
+		for i := range ord {
+			ord[i] = i
+		}
+		sort.Slice(ord, func(a, b int) bool { return keys[ord[a]] < keys[ord[b]] })
+		sk := make([]uint64, len(keys))
+		sw := make([]float64, len(ws))
+		for i, j := range ord {
+			sk[i], sw[i] = keys[j], ws[j]
+		}
+		keys, ws = sk, sw
+
+		s.prefix = make([]float64, len(ws)+1)
+		for i, w := range ws {
+			s.prefix[i+1] = s.prefix[i] + w
+		}
+		nb := (len(ws) + BlockSize - 1) / BlockSize
+		s.blockMin = make([]float64, nb)
+		s.blockMax = make([]float64, nb)
+		for b := 0; b < nb; b++ {
+			mn, mx := math.Inf(1), math.Inf(-1)
+			end := min((b+1)*BlockSize, len(ws))
+			for i := b * BlockSize; i < end; i++ {
+				mn = math.Min(mn, ws[i])
+				mx = math.Max(mx, ws[i])
+			}
+			s.blockMin[b], s.blockMax[b] = mn, mx
+		}
+	} else {
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	}
+
+	s.keys = keys
+	s.weights = ws
+	s.index = rs.Build(keys, rs.DefaultRadixBits, rs.DefaultSplineError)
+	return s, nil
+}
+
+// Len returns the number of resident (in-domain) points.
+func (s *Store) Len() int { return len(s.keys) }
+
+// Dropped returns how many input points fell outside the domain and were
+// excluded.
+func (s *Store) Dropped() int { return s.dropped }
+
+// HasWeights reports whether the store carries an attribute column; SUM, AVG,
+// MIN and MAX require one.
+func (s *Store) HasWeights() bool { return s.weights != nil }
+
+// Domain returns the domain the keys were linearized over.
+func (s *Store) Domain() sfc.Domain { return s.domain }
+
+// Curve returns the linearization curve.
+func (s *Store) Curve() sfc.Curve { return s.curve }
+
+// Span locates the contiguous run of points whose keys fall in the inclusive
+// key range [lo, hi], as half-open positions [i, j) into the sorted columns —
+// two learned-index lookups.
+func (s *Store) Span(lo, hi uint64) (i, j int) {
+	if lo > hi {
+		return 0, 0
+	}
+	return s.index.LowerBound(lo), s.index.UpperBound(hi)
+}
+
+// CountRange returns the number of points with keys in the inclusive range
+// [lo, hi].
+func (s *Store) CountRange(lo, hi uint64) int {
+	i, j := s.Span(lo, hi)
+	return j - i
+}
+
+// SumSpan returns the weight sum over positions [i, j) via the prefix-sum
+// column. The store must have weights.
+func (s *Store) SumSpan(i, j int) float64 { return s.prefix[j] - s.prefix[i] }
+
+// MinSpan returns the minimum weight over positions [i, j), folding whole
+// blocks through the sparse block column and scanning only partial blocks.
+// It returns +Inf for an empty span. The store must have weights.
+func (s *Store) MinSpan(i, j int) float64 {
+	m := math.Inf(1)
+	for i < j {
+		if i%BlockSize == 0 && i+BlockSize <= j {
+			m = math.Min(m, s.blockMin[i/BlockSize])
+			i += BlockSize
+			continue
+		}
+		end := min((i/BlockSize+1)*BlockSize, j)
+		for ; i < end; i++ {
+			m = math.Min(m, s.weights[i])
+		}
+	}
+	return m
+}
+
+// MaxSpan is MinSpan for the maximum; it returns -Inf for an empty span.
+func (s *Store) MaxSpan(i, j int) float64 {
+	m := math.Inf(-1)
+	for i < j {
+		if i%BlockSize == 0 && i+BlockSize <= j {
+			m = math.Max(m, s.blockMax[i/BlockSize])
+			i += BlockSize
+			continue
+		}
+		end := min((i/BlockSize+1)*BlockSize, j)
+		for ; i < end; i++ {
+			m = math.Max(m, s.weights[i])
+		}
+	}
+	return m
+}
+
+// MemoryBytes returns the store's resident footprint: key column, weight and
+// prefix-sum columns, block aggregates, and the learned index.
+func (s *Store) MemoryBytes() int {
+	return 8*len(s.keys) + 8*len(s.weights) + 8*len(s.prefix) +
+		8*(len(s.blockMin)+len(s.blockMax)) + s.index.MemoryBytes()
+}

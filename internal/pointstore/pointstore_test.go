@@ -1,0 +1,207 @@
+package pointstore
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"distbound/internal/geom"
+	"distbound/internal/sfc"
+)
+
+func testDomain(t *testing.T) sfc.Domain {
+	t.Helper()
+	d, err := sfc.NewDomain(geom.Pt(0, 0), 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// naive holds the sorted columns for reference computations.
+type naive struct {
+	keys []uint64
+	ws   []float64
+}
+
+func buildBoth(t *testing.T, n int, seed int64, withWeights bool) (*Store, naive) {
+	t.Helper()
+	d := testDomain(t)
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, n)
+	var ws []float64
+	if withWeights {
+		ws = make([]float64, n)
+	}
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Float64()*1024, rng.Float64()*1024)
+		if withWeights {
+			ws[i] = rng.NormFloat64() * 10
+		}
+	}
+	s, err := Build(pts, ws, d, sfc.Hilbert{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference: sort (key, weight) pairs independently.
+	type kw struct {
+		k uint64
+		w float64
+	}
+	pairs := make([]kw, n)
+	for i, p := range pts {
+		pos, ok := d.LeafPos(sfc.Hilbert{}, p)
+		if !ok {
+			t.Fatalf("point %v unexpectedly outside domain", p)
+		}
+		pairs[i] = kw{pos, 1}
+		if withWeights {
+			pairs[i].w = ws[i]
+		}
+	}
+	for i := 1; i < len(pairs); i++ {
+		for j := i; j > 0 && pairs[j].k < pairs[j-1].k; j-- {
+			pairs[j], pairs[j-1] = pairs[j-1], pairs[j]
+		}
+	}
+	nv := naive{keys: make([]uint64, n), ws: make([]float64, n)}
+	for i, p := range pairs {
+		nv.keys[i], nv.ws[i] = p.k, p.w
+	}
+	return s, nv
+}
+
+func TestRangeAggregatesMatchNaive(t *testing.T) {
+	const n = 3000
+	s, nv := buildBoth(t, n, 7, true)
+	if s.Len() != n || s.Dropped() != 0 || !s.HasWeights() {
+		t.Fatalf("store accounting wrong: len=%d dropped=%d", s.Len(), s.Dropped())
+	}
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 500; trial++ {
+		lo := nv.keys[rng.Intn(n)]
+		hi := nv.keys[rng.Intn(n)]
+		if trial%7 == 0 {
+			// Exercise ranges whose endpoints are not stored keys too.
+			lo, hi = lo-uint64(rng.Intn(3)), hi+uint64(rng.Intn(3))
+		}
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		var cnt int
+		sum := 0.0
+		mn, mx := math.Inf(1), math.Inf(-1)
+		for i, k := range nv.keys {
+			if k >= lo && k <= hi {
+				cnt++
+				sum += nv.ws[i]
+				mn = math.Min(mn, nv.ws[i])
+				mx = math.Max(mx, nv.ws[i])
+			}
+		}
+		if got := s.CountRange(lo, hi); got != cnt {
+			t.Fatalf("range [%d,%d]: count %d != %d", lo, hi, got, cnt)
+		}
+		i, j := s.Span(lo, hi)
+		if j-i != cnt {
+			t.Fatalf("range [%d,%d]: span width %d != %d", lo, hi, j-i, cnt)
+		}
+		if got := s.SumSpan(i, j); math.Abs(got-sum) > 1e-9*math.Max(1, math.Abs(sum)) {
+			t.Fatalf("range [%d,%d]: sum %g != %g", lo, hi, got, sum)
+		}
+		if got := s.MinSpan(i, j); got != mn {
+			t.Fatalf("range [%d,%d]: min %g != %g", lo, hi, got, mn)
+		}
+		if got := s.MaxSpan(i, j); got != mx {
+			t.Fatalf("range [%d,%d]: max %g != %g", lo, hi, got, mx)
+		}
+	}
+}
+
+// TestSpanBlockEdges pins the block-folding arithmetic of MinSpan/MaxSpan to
+// spans that start/end exactly on block boundaries, span one partial block,
+// and cover everything.
+func TestSpanBlockEdges(t *testing.T) {
+	const n = 3*BlockSize + 37
+	s, nv := buildBoth(t, n, 9, true)
+	spans := [][2]int{
+		{0, n}, {0, BlockSize}, {BlockSize, 2 * BlockSize},
+		{BlockSize - 1, BlockSize + 1}, {5, 9}, {2 * BlockSize, n},
+		{BlockSize / 2, 2*BlockSize + BlockSize/2}, {n - 1, n}, {10, 10},
+	}
+	for _, sp := range spans {
+		i, j := sp[0], sp[1]
+		mn, mx := math.Inf(1), math.Inf(-1)
+		sum := 0.0
+		for k := i; k < j; k++ {
+			mn = math.Min(mn, nv.ws[k])
+			mx = math.Max(mx, nv.ws[k])
+			sum += nv.ws[k]
+		}
+		if got := s.MinSpan(i, j); got != mn {
+			t.Errorf("span [%d,%d): min %g != %g", i, j, got, mn)
+		}
+		if got := s.MaxSpan(i, j); got != mx {
+			t.Errorf("span [%d,%d): max %g != %g", i, j, got, mx)
+		}
+		if got := s.SumSpan(i, j); math.Abs(got-sum) > 1e-9*math.Max(1, math.Abs(sum)) {
+			t.Errorf("span [%d,%d): sum %g != %g", i, j, got, sum)
+		}
+	}
+}
+
+func TestOutOfDomainPointsDropped(t *testing.T) {
+	d := testDomain(t)
+	pts := []geom.Point{
+		geom.Pt(10, 10), geom.Pt(-5, 10), geom.Pt(2000, 500), geom.Pt(500, 500),
+	}
+	ws := []float64{1, 2, 3, 4}
+	s, err := Build(pts, ws, d, sfc.Hilbert{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 || s.Dropped() != 2 {
+		t.Fatalf("len=%d dropped=%d, want 2/2", s.Len(), s.Dropped())
+	}
+	// The surviving weights are 1 and 4.
+	if got := s.SumSpan(0, s.Len()); got != 5 {
+		t.Errorf("sum over survivors = %g, want 5", got)
+	}
+}
+
+func TestWeightValidationAndEmpty(t *testing.T) {
+	d := testDomain(t)
+	if _, err := Build([]geom.Point{geom.Pt(1, 1)}, []float64{1, 2}, d, sfc.Hilbert{}); err == nil {
+		t.Error("mismatched weight column accepted")
+	}
+	// Non-finite weights cannot live in a prefix-sum column without
+	// diverging from streaming aggregation; Build must reject them.
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if _, err := Build([]geom.Point{geom.Pt(1, 1)}, []float64{bad}, d, sfc.Hilbert{}); err == nil {
+			t.Errorf("non-finite weight %v accepted", bad)
+		}
+	}
+	s, err := Build(nil, nil, d, sfc.Hilbert{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 0 || s.HasWeights() || s.CountRange(0, math.MaxUint64) != 0 {
+		t.Error("empty store misbehaves")
+	}
+	if s.MemoryBytes() < 0 {
+		t.Error("negative footprint")
+	}
+}
+
+func TestNoWeightsStore(t *testing.T) {
+	s, nv := buildBoth(t, 500, 11, false)
+	if s.HasWeights() {
+		t.Fatal("weightless store claims weights")
+	}
+	if got := s.CountRange(nv.keys[0], nv.keys[len(nv.keys)-1]); got != 500 {
+		t.Errorf("full-range count %d != 500", got)
+	}
+	if s.MemoryBytes() <= 8*500 {
+		t.Error("footprint misses the index")
+	}
+}
