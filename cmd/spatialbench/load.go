@@ -32,6 +32,10 @@ type loadConfig struct {
 	queryPoints int
 	resident    bool
 	jsonPath    string
+
+	ingest           bool
+	ingestBatch      int
+	compactThreshold int
 }
 
 // parseBounds parses a comma-separated bound list ("0,16,64").

@@ -10,6 +10,7 @@
 //	spatialbench -concurrency 16 -duration 10s      # engine load benchmark
 //	spatialbench -concurrency 8 -batch 32           # batched serving mode
 //	spatialbench -concurrency 8 -resident           # resident-dataset mode
+//	spatialbench -concurrency 8 -ingest             # mixed append/query mode
 //	spatialbench -concurrency 8 -json BENCH_load.json
 //
 // Experiments: fig4a, fig4b, fig6, mem, fig7, ablapprox, ablcurve, all.
@@ -27,6 +28,13 @@
 // streaming and resident paths on a repetition-heavy workload. -json writes
 // the run's throughput and latency percentiles as a BENCH_*.json document
 // so the performance trajectory is machine-trackable.
+//
+// With -ingest half the pool is registered up front and a writer goroutine
+// streams the other half in (Dataset.Append, with periodic Delete batches)
+// while the readers query, exercising the delta buffer and threshold-driven
+// background compaction; the run reports query p50/p90/p99 during
+// ingestion, write-pause percentiles (compaction stalls writers, never
+// readers), and verifies that a final compaction changes no aggregate.
 package main
 
 import (
@@ -35,6 +43,7 @@ import (
 	"os"
 	"time"
 
+	"distbound"
 	"distbound/internal/experiments"
 )
 
@@ -56,11 +65,15 @@ func main() {
 		queryPoints = flag.Int("querypoints", 50_000, "load mode: points per query, sliced from the pool (0 = whole pool)")
 		resident    = flag.Bool("resident", false, "load mode: register the pool as a resident dataset and drive AggregateDataset")
 		jsonPath    = flag.String("json", "", "load mode: write throughput/latency results to this path as BENCH_*.json output")
+
+		ingest           = flag.Bool("ingest", false, "load mode: mixed append/query workload — half the pool resident, half streamed in by a writer while readers query")
+		ingestBatch      = flag.Int("ingestbatch", 1000, "ingest mode: points per Append batch")
+		compactThreshold = flag.Int("compactthreshold", distbound.DefaultCompactionThreshold, "ingest mode: delta+tombstone rows triggering a background compaction (0 disables)")
 	)
 	flag.Parse()
 
-	if (*resident || *jsonPath != "") && *concurrency <= 0 {
-		fmt.Fprintln(os.Stderr, "-resident and -json require load mode (-concurrency N > 0)")
+	if (*resident || *ingest || *jsonPath != "") && *concurrency <= 0 {
+		fmt.Fprintln(os.Stderr, "-resident, -ingest and -json require load mode (-concurrency N > 0)")
 		os.Exit(2)
 	}
 	if *concurrency > 0 {
@@ -75,21 +88,28 @@ func main() {
 			os.Exit(2)
 		}
 		cfg := loadConfig{
-			seed:        *seed,
-			numPoints:   *points,
-			censusCount: *census,
-			concurrency: *concurrency,
-			duration:    *duration,
-			bounds:      bounds,
-			agg:         agg,
-			repetitions: *reps,
-			batch:       *batch,
-			workers:     *workers,
-			queryPoints: *queryPoints,
-			resident:    *resident,
-			jsonPath:    *jsonPath,
+			seed:             *seed,
+			numPoints:        *points,
+			censusCount:      *census,
+			concurrency:      *concurrency,
+			duration:         *duration,
+			bounds:           bounds,
+			agg:              agg,
+			repetitions:      *reps,
+			batch:            *batch,
+			workers:          *workers,
+			queryPoints:      *queryPoints,
+			resident:         *resident,
+			jsonPath:         *jsonPath,
+			ingest:           *ingest,
+			ingestBatch:      *ingestBatch,
+			compactThreshold: *compactThreshold,
 		}
-		if err := runLoad(cfg); err != nil {
+		run := runLoad
+		if cfg.ingest {
+			run = runIngest
+		}
+		if err := run(cfg); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

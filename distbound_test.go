@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"distbound/internal/data"
+	"distbound/internal/testutil"
 )
 
 func facadeWorkload(n int) (PointSet, []Region) {
@@ -115,6 +116,9 @@ func TestJoinsAgree(t *testing.T) {
 	if e := MedianRelativeError(approx, exact); e > 0.01 {
 		t.Errorf("ACT join median error %g", e)
 	}
+	// The differential oracle asserts the hard guarantee behind the error
+	// number: every mis-assigned point lies within the bound of a boundary.
+	testutil.Classify(ps.Pts, ps.Weights, regions, 16).Check(t, "ACTJoin", Count, approx)
 	rj, stats, err := RasterJoin(ps, regions, 64, Count)
 	if err != nil {
 		t.Fatal(err)
@@ -125,6 +129,7 @@ func TestJoinsAgree(t *testing.T) {
 	if e := MedianRelativeError(rj, exact); e > 0.02 {
 		t.Errorf("raster join median error %g", e)
 	}
+	testutil.Classify(ps.Pts, ps.Weights, regions, 64).Check(t, "RasterJoin", Count, rj)
 }
 
 func TestAggregateWithRangeViaFacade(t *testing.T) {

@@ -79,12 +79,16 @@ type Engine struct {
 }
 
 // pidxKey identifies one resident probe artifact: the cover ranges of every
-// region at one bound, paired with one registered dataset's store. Keying by
-// store identity (not name) means an entry outliving UnregisterPoints can
-// never be served to a same-named successor dataset — it just ages out of
-// the LRU.
+// region at one bound, paired with one registered dataset's mutable store.
+// Keying by store identity (not name) means an entry outliving
+// UnregisterPoints can never be served to a same-named successor dataset —
+// it just ages out of the LRU. The covers themselves depend only on the
+// regions and bound, never on the data, so appends, deletes and compactions
+// of the dataset reuse the same entry: the joiner reads a fresh snapshot of
+// the store on every query, and the epoch swap at compaction retires the old
+// base without ever exposing a stale cover+data pairing.
 type pidxKey struct {
-	store *pointstore.Store
+	src   *pointstore.Mutable
 	bound float64
 }
 
@@ -202,41 +206,179 @@ func (e *Engine) Plan(numPoints int, bound float64, repetitions int) planner.Pla
 	return e.PlanFor(numPoints, Count, bound, repetitions)
 }
 
-// Dataset is a handle to a point dataset registered with RegisterPoints: the
-// original point relation plus its resident artifact — SFC-sorted keys under
-// a learned index with prefix-sum and block min/max columns. Handles are
-// immutable and safe for concurrent use; queries taking a handle may be
-// answered by StrategyPointIdx without re-streaming the points.
+// DefaultCompactionThreshold is the un-compacted state (delta rows plus
+// tombstones) at which a dataset schedules a background compaction after a
+// mutation. Tune per dataset with SetCompactionThreshold.
+const DefaultCompactionThreshold = 1 << 16
+
+// Dataset is a handle to a live point dataset registered with
+// RegisterPoints: an SFC-sorted base column under a learned index with
+// prefix-sum and block min/max columns, plus an append-only delta buffer and
+// tombstone set for points added or removed since the last compaction.
+// Handles are safe for concurrent use: queries read immutable snapshots, so
+// they never observe a torn mutation, and Append/Delete/Compact may race
+// queries and each other freely. Queries taking a handle may be answered by
+// StrategyPointIdx without re-streaming the points.
 type Dataset struct {
-	name  string
-	ps    PointSet
-	store *pointstore.Store
+	name string
+	src  *pointstore.Mutable
+
+	compactThreshold atomic.Int64
+	compacting       atomic.Bool
+}
+
+// DatasetStats is a point-in-time accounting snapshot of a dataset — the
+// generation-aware counterpart of the engine's CacheStats.
+type DatasetStats struct {
+	// Generation counts completed compactions; cover artifacts survive
+	// generation changes (they depend only on the regions), but every query
+	// issued after the swap probes the new base.
+	Generation uint64
+	// Live is the number of queryable points.
+	Live int
+	// Base is the sorted base column's row count, tombstones included.
+	Base int
+	// Tombstones is the number of base rows deleted since the last
+	// compaction.
+	Tombstones int
+	// DeltaLive / DeltaDead split the un-compacted tail into rows still
+	// queryable and rows deleted again before compaction collected them.
+	DeltaLive, DeltaDead int
 }
 
 // Name returns the registration name.
 func (d *Dataset) Name() string { return d.name }
 
-// Len returns the number of points in the dataset.
-func (d *Dataset) Len() int { return len(d.ps.Pts) }
+// Len returns the number of live points in the dataset.
+func (d *Dataset) Len() int { return d.src.Len() }
 
-// Dropped returns how many points fell outside the engine's domain and are
-// excluded from the resident index. Such points lie outside every region's
-// extent and can never match; the streaming strategies skip them the same
-// way, so all plans agree.
-func (d *Dataset) Dropped() int { return d.store.Dropped() }
+// Dropped returns how many registration-time points fell outside the
+// engine's domain and are excluded from the resident index. Such points lie
+// outside every region's extent and can never match; the streaming
+// strategies skip them the same way, so all plans agree. Append rejects
+// out-of-domain points outright, so the count never grows after
+// registration.
+func (d *Dataset) Dropped() int { return d.src.Dropped() }
 
-// MemoryBytes returns the resident artifact's footprint (columns plus
-// learned index), excluding the caller-owned point slices.
-func (d *Dataset) MemoryBytes() int { return d.store.MemoryBytes() }
+// MemoryBytes returns the resident artifact's footprint (columns, retained
+// coordinates, delta tail, tombstones and the learned index).
+func (d *Dataset) MemoryBytes() int { return d.src.MemoryBytes() }
+
+// Generation returns the dataset's compaction generation.
+func (d *Dataset) Generation() uint64 { return d.src.Gen() }
+
+// Stats returns the dataset's current accounting snapshot.
+func (d *Dataset) Stats() DatasetStats {
+	s := d.src.Snapshot()
+	return DatasetStats{
+		Generation: s.Gen(),
+		Live:       s.LiveLen(),
+		Base:       s.BaseLen(),
+		Tombstones: s.Tombstones(),
+		DeltaLive:  s.DeltaLiveLen(),
+		DeltaDead:  s.DeltaLen() - s.DeltaLiveLen(),
+	}
+}
+
+// Points returns a copy of the dataset's live points (and weights, when the
+// dataset has them): base survivors in key order followed by un-compacted
+// appends in append order. This is the relation a fresh RegisterPoints of
+// the surviving data would receive.
+func (d *Dataset) Points() ([]Point, []float64) {
+	pts, ws := d.src.Snapshot().Materialize()
+	outP := append([]Point(nil), pts...)
+	var outW []float64
+	if ws != nil {
+		outW = append([]float64(nil), ws...)
+	}
+	return outP, outW
+}
+
+// Append adds points to the dataset, assigning and returning their IDs (the
+// currency Delete takes). Weights are required iff the dataset was
+// registered with a weight column, and must be finite; a point outside the
+// engine's domain rejects the whole batch. Appended points are visible to
+// every query issued after Append returns — they are served from the delta
+// buffer until a compaction folds them into the sorted base. Crossing the
+// compaction threshold schedules a background compaction.
+func (d *Dataset) Append(pts []Point, weights []float64) ([]uint64, error) {
+	ids, err := d.src.Append(pts, weights)
+	if err != nil {
+		return nil, fmt.Errorf("distbound: appending to dataset %q: %w", d.name, err)
+	}
+	d.maybeCompact()
+	return ids, nil
+}
+
+// Delete removes points by ID, returning how many were live (unknown or
+// already-deleted IDs are skipped). Registration-time points carry the IDs
+// 0..n-1 in input order (out-of-domain drops consume an ID without ever
+// being live); appended points carry the IDs Append returned. Deletions are
+// visible to every query issued after Delete returns.
+func (d *Dataset) Delete(ids ...uint64) int {
+	n := d.src.Delete(ids...)
+	if n > 0 {
+		d.maybeCompact()
+	}
+	return n
+}
+
+// Compact synchronously merges the delta buffer and tombstones into a
+// freshly sorted base and swaps it in atomically, bumping Generation.
+// In-flight queries finish on the pre-compaction snapshot; queries issued
+// after Compact returns probe the new base with an empty delta. Appends and
+// deletes block for the duration; queries never do.
+func (d *Dataset) Compact() { d.src.Compact() }
+
+// SetCompactionThreshold sets how much un-compacted state (delta rows plus
+// tombstones) a mutation tolerates before scheduling a background
+// compaction; n ≤ 0 disables auto-compaction (Compact still works). The
+// default is DefaultCompactionThreshold.
+func (d *Dataset) SetCompactionThreshold(n int) { d.compactThreshold.Store(int64(n)) }
+
+// CompactionThreshold returns the current auto-compaction threshold.
+func (d *Dataset) CompactionThreshold() int { return int(d.compactThreshold.Load()) }
+
+// maybeCompact schedules a background compaction when the un-compacted
+// state crosses the threshold. The CAS guard keeps at most one compaction
+// goroutine per dataset in flight; that goroutine keeps compacting while
+// mutations that landed during a merge leave the pending state over the
+// threshold (their own maybeCompact calls CAS-fail against it), and
+// re-arms once more after releasing the guard to close the race with a
+// mutation that crossed the threshold between its last check and the
+// release.
+func (d *Dataset) maybeCompact() {
+	th := d.compactThreshold.Load()
+	if th <= 0 || int64(d.src.Pending()) < th {
+		return
+	}
+	if !d.compacting.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		for {
+			d.src.Compact()
+			th := d.compactThreshold.Load()
+			if th <= 0 || int64(d.src.Pending()) < th {
+				break
+			}
+		}
+		d.compacting.Store(false)
+		d.maybeCompact()
+	}()
+}
 
 // RegisterPoints builds the resident artifact for a point dataset over the
 // engine's domain and registers it under name, returning the query handle.
-// The weight column may be nil, restricting the dataset to COUNT
-// aggregations; weights must be finite (a NaN/Inf weight cannot live in a
-// prefix-sum column without diverging from the streaming aggregates). The
-// build is one sort plus one learned-index pass; the caller must not mutate
-// pts or weights afterwards. Registering an already registered name is an
-// error.
+// The dataset is live: Dataset.Append and Dataset.Delete mutate it after
+// registration, with Dataset.Compact (manual or threshold-triggered) folding
+// the accumulated delta back into the sorted base. The weight column may be
+// nil, restricting the dataset to COUNT aggregations; weights must be finite
+// (a NaN/Inf weight cannot live in a prefix-sum column without diverging
+// from the streaming aggregates). The build is one sort plus one
+// learned-index pass; the engine keeps its own columns, so the caller may
+// reuse pts and weights freely afterwards. Registering an already registered
+// name is an error.
 func (e *Engine) RegisterPoints(name string, pts []Point, weights []float64) (*Dataset, error) {
 	if name == "" {
 		return nil, fmt.Errorf("distbound: dataset name must be non-empty")
@@ -247,11 +389,12 @@ func (e *Engine) RegisterPoints(name string, pts []Point, weights []float64) (*D
 	if dup {
 		return nil, fmt.Errorf("distbound: dataset %q already registered", name)
 	}
-	store, err := pointstore.Build(pts, weights, e.domain, Hilbert)
+	src, err := pointstore.NewMutable(pts, weights, e.domain, Hilbert)
 	if err != nil {
 		return nil, fmt.Errorf("distbound: building point store: %w", err)
 	}
-	ds := &Dataset{name: name, ps: PointSet{Pts: pts, Weights: weights}, store: store}
+	ds := &Dataset{name: name, src: src}
+	ds.compactThreshold.Store(DefaultCompactionThreshold)
 	e.dsMu.Lock()
 	defer e.dsMu.Unlock()
 	if _, dup := e.datasets[name]; dup {
@@ -313,19 +456,23 @@ func (e *Engine) PlanForDataset(ds *Dataset, agg Agg, bound float64, repetitions
 	return e.planDataset(ds, agg, bound, repetitions), nil
 }
 
-// planDataset is PlanForDataset for handles already validated.
+// planDataset is PlanForDataset for handles already validated. The point
+// count and delta size come from one snapshot, so the plan reflects a
+// consistent instant of a dataset under concurrent mutation.
 func (e *Engine) planDataset(ds *Dataset, agg Agg, bound float64, repetitions int) planner.Plan {
 	cached := e.cachedBuilds(bound)
-	if e.pidx.ContainsReady(pidxKey{store: ds.store, bound: bound}) {
+	if e.pidx.ContainsReady(pidxKey{src: ds.src, bound: bound}) {
 		cached[StrategyPointIdx] = true
 	}
+	snap := ds.src.Snapshot()
 	return e.costModel().Choose(planner.Query{
-		NumPoints:      ds.Len(),
+		NumPoints:      snap.LiveLen(),
 		Regions:        e.regions,
 		Bound:          bound,
 		Repetitions:    repetitions,
 		ExtremeAgg:     agg == Min || agg == Max,
 		ResidentPoints: true,
+		DeltaPoints:    snap.DeltaLen(),
 		CachedBuild:    cached,
 		Stats:          &e.stats,
 	})
@@ -346,7 +493,10 @@ func (e *Engine) AggregateDataset(ds *Dataset, agg Agg, bound float64, repetitio
 	return res, plan.Strategy, err
 }
 
-// runDataset executes one dataset query on a fixed strategy.
+// runDataset executes one dataset query on a fixed strategy. Streaming
+// strategies consume the dataset's materialized live points — the same
+// survivors the point-index strategy serves from base+delta — so all plans
+// agree on a mutated dataset, not just a freshly registered one.
 func (e *Engine) runDataset(ds *Dataset, agg Agg, bound float64, strategy Strategy, workers int) (Result, error) {
 	if strategy == StrategyPointIdx {
 		j, err := e.pointIdxJoiner(ds, bound, workers)
@@ -355,7 +505,8 @@ func (e *Engine) runDataset(ds *Dataset, agg Agg, bound float64, strategy Strate
 		}
 		return j.AggregateParallel(agg, workers)
 	}
-	return e.run(ds.ps, agg, bound, strategy, workers)
+	pts, ws := ds.src.Snapshot().Materialize()
+	return e.run(PointSet{Pts: pts, Weights: ws}, agg, bound, strategy, workers)
 }
 
 // pointIdxJoiner returns the cover/probe artifact for (dataset, bound),
@@ -363,8 +514,8 @@ func (e *Engine) runDataset(ds *Dataset, agg Agg, bound float64, strategy Strate
 // builds, a cold cover rasterization fans out across the caller's worker
 // budget and never exceeds the parallelism the query itself was granted.
 func (e *Engine) pointIdxJoiner(ds *Dataset, bound float64, workers int) (*join.PointIdxJoiner, error) {
-	j, err := e.pidx.GetOrBuild(pidxKey{store: ds.store, bound: bound}, func() (*join.PointIdxJoiner, error) {
-		return join.NewPointIdxJoiner(e.regions, ds.store, bound, workers)
+	j, err := e.pidx.GetOrBuild(pidxKey{src: ds.src, bound: bound}, func() (*join.PointIdxJoiner, error) {
+		return join.NewPointIdxJoiner(e.regions, ds.src, bound, workers)
 	})
 	if err != nil {
 		return nil, fmt.Errorf("distbound: building point-index covers: %w", err)
@@ -563,7 +714,10 @@ func (e *Engine) AggregateBatch(queries []BatchQuery, workers int) []BatchResult
 
 // CacheStats reports the engine's index-cache counters (hits, misses,
 // builds, coalesced waits on in-flight builds, evictions) for the ACT, BRJ
-// and resident-cover caches.
+// and resident-cover caches. Cover entries survive dataset compactions —
+// covers depend only on the region set and bound — so a steady-state
+// ingest workload shows cover hits, not rebuilds, across generations; the
+// per-dataset generation and delta accounting lives in Dataset.Stats.
 func (e *Engine) CacheStats() (act, brj, cover cache.Stats) {
 	return e.act.Stats(), e.brj.Stats(), e.pidx.Stats()
 }

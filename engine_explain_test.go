@@ -1,0 +1,99 @@
+package distbound
+
+import (
+	"testing"
+
+	"distbound/internal/data"
+)
+
+// explainFixture pins every input of the cost model: a deterministic region
+// set, a round-number cost model, and a fixed dataset size — so the rendered
+// plan text is stable and reviewable.
+func explainFixture(t *testing.T) (*Engine, *Dataset) {
+	t.Helper()
+	pts, weights := data.TaxiPoints(81, 50_000)
+	e := NewEngine(dataRegions(82, 4, 4, 8))
+	e.SetCostModel(CostModel{
+		TrieLookup:     400,
+		TrieCellBuild:  1000,
+		TreePointQuery: 500,
+		PIPPerVertex:   4,
+		PixelWrite:     2,
+		PointScatter:   20,
+		RangeProbe:     100,
+		DeltaProbe:     10,
+	})
+	ds, err := e.RegisterPoints("taxi", pts, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds.SetCompactionThreshold(0)
+	return e, ds
+}
+
+// TestExplainGolden pins the ad-hoc plan rendering: any change to the text —
+// a new strategy row, a cost-model tweak, a formatting change — must be
+// reviewed here, not discovered by downstream parsers.
+func TestExplainGolden(t *testing.T) {
+	e, _ := explainFixture(t)
+	got := e.Explain(50_000, 16, 10)
+	const want = `* exact(R*)  build=0.0ms run=22.3ms total=223.3ms
+  act        build=191.9ms run=20.0ms total=391.9ms
+  brj        build=43.3ms run=111.9ms total=1161.9ms`
+	if got != want {
+		t.Errorf("Explain drifted:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestExplainDatasetGolden pins the resident plan rendering in both states:
+// freshly compacted (no delta line) and carrying a delta tail (the
+// delta-fraction term must appear and the costs must reflect the scan).
+func TestExplainDatasetGolden(t *testing.T) {
+	e, ds := explainFixture(t)
+	got, err := e.ExplainDataset(ds, Count, 16, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const wantCompact = `* exact(R*)  build=0.0ms run=22.3ms total=223.3ms
+  pointidx   build=191.9ms run=6.4ms total=255.9ms
+  act        build=191.9ms run=20.0ms total=391.9ms
+  brj        build=43.3ms run=111.9ms total=1161.9ms`
+	if got != wantCompact {
+		t.Errorf("ExplainDataset (compact) drifted:\n--- got ---\n%s\n--- want ---\n%s", got, wantCompact)
+	}
+
+	// A 12.5k-row delta on a 62.5k-point dataset: the pointidx row's per-run
+	// cost now includes the delta scan, the ordering flips (pointidx still
+	// wins here), and the delta line names the fraction.
+	pts, ws := ds.Points()
+	ids, err := ds.Append(pts[:12_500], ws[:12_500])
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = e.ExplainDataset(ds, Count, 16, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const wantDelta = `* pointidx   build=191.9ms run=8.4ms total=275.9ms
+  exact(R*)  build=0.0ms run=27.9ms total=279.2ms
+  act        build=191.9ms run=25.0ms total=441.9ms
+  brj        build=43.3ms run=112.1ms total=1164.4ms
+delta: 20.0% of resident points await compaction (pointidx per-run cost includes the delta scan)`
+	if got != wantDelta {
+		t.Errorf("ExplainDataset (delta) drifted:\n--- got ---\n%s\n--- want ---\n%s", got, wantDelta)
+	}
+
+	// Deleting the appended rows and compacting restores the original
+	// rendering exactly: same live points, no delta term.
+	if n := ds.Delete(ids...); n != 12_500 {
+		t.Fatalf("deleted %d", n)
+	}
+	ds.Compact()
+	got, err = e.ExplainDataset(ds, Count, 16, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != wantCompact {
+		t.Errorf("ExplainDataset after compaction drifted:\n--- got ---\n%s\n--- want ---\n%s", got, wantCompact)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"distbound/internal/data"
+	"distbound/internal/testutil"
 )
 
 func dataRegions(seed int64, cols, rows, ptsPerEdge int) []Region {
@@ -49,6 +50,9 @@ func TestEngineApproximateStrategiesAccurate(t *testing.T) {
 		if med := MedianRelativeError(res, exact); med > 0.02 {
 			t.Errorf("bound=%g reps=%d (%v): median error %g", q.bound, q.reps, strategy, med)
 		}
+		// Whatever plan ran, the distance-bound guarantee must hold.
+		testutil.Classify(ps.Pts, ps.Weights, regions, q.bound).
+			Check(t, strategy.String(), Count, res)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"sort"
 	"sync"
 
 	"distbound/internal/geom"
@@ -14,39 +15,49 @@ import (
 
 // PointIdxJoiner answers the §5 aggregation join against a resident point
 // dataset instead of a streamed PointSet. The point side is a
-// pointstore.Store — SFC-sorted keys under a RadixSpline learned index with
-// prefix-sum and block min/max columns — and each region is covered once by
-// its conservative distance-bounded hierarchical raster, kept as merged 1D
-// leaf ranges. A query folds the store's range aggregates over each region's
-// ranges: O(ranges · index lookup) per query instead of O(points), so
-// repeated aggregations over the same dataset never re-stream the points.
+// pointstore.Mutable — an SFC-sorted base column under a RadixSpline learned
+// index with prefix-sum and block min/max columns, plus an unsorted delta
+// tail and tombstone set for points appended or deleted since the last
+// compaction — and each region is covered once by its conservative
+// distance-bounded hierarchical raster, kept as merged 1D leaf ranges.
 //
-// COUNT results are bit-identical to ACTJoiner.Aggregate over the same
-// dataset at the same bound: both sides test the same leaf positions against
-// the same conservative covers. MIN/MAX extremes are likewise identical
-// (same matched point sets); SUM/AVG differ only by float re-association,
-// because the store sums in key order rather than input order.
+// A query loads one immutable snapshot of the dataset and, per region, folds
+// the base's range aggregates over the region's cover ranges (tombstones
+// subtracted) and brute-scans the delta tail against the same ranges. The
+// result is therefore exactly what a freshly compacted store would return:
+// COUNT/MIN/MAX are bit-identical to a full rebuild of the surviving points,
+// SUM/AVG agree up to float re-association (the delta tail sums in append
+// order rather than key order).
+//
+// COUNT results are bit-identical to ACTJoiner.Aggregate over the same live
+// points at the same bound: both sides test the same leaf positions against
+// the same conservative covers.
+//
+// The covers depend only on the regions, domain, curve and bound — never on
+// the data — so one joiner stays valid across appends, deletes and
+// compactions of its dataset.
 type PointIdxJoiner struct {
-	store  *pointstore.Store
+	src    *pointstore.Mutable
 	covers [][]raster.PosRange // merged leaf ranges per region
 	bound  float64
 	ranges int
 }
 
 // NewPointIdxJoiner rasterizes every region at distance bound eps over the
-// store's domain and curve, fanning the per-region rasterization across
+// dataset's domain and curve, fanning the per-region rasterization across
 // workers (≤ 0 selects GOMAXPROCS). The returned joiner is immutable and
-// safe for concurrent use.
-func NewPointIdxJoiner(regions []geom.Region, store *pointstore.Store, eps float64, workers int) (*PointIdxJoiner, error) {
+// safe for concurrent use; it reads a fresh snapshot of the dataset on every
+// Aggregate call.
+func NewPointIdxJoiner(regions []geom.Region, src *pointstore.Mutable, eps float64, workers int) (*PointIdxJoiner, error) {
 	if !(eps > 0) {
 		return nil, fmt.Errorf("join: point-index join requires a positive bound, got %v", eps)
 	}
 	j := &PointIdxJoiner{
-		store:  store,
+		src:    src,
 		covers: make([][]raster.PosRange, len(regions)),
 		bound:  eps,
 	}
-	d, c := store.Domain(), store.Curve()
+	d, c := src.Domain(), src.Curve()
 	err := pool.Run(len(regions), pool.Workers(workers, len(regions)), func(_, ri int) error {
 		a, err := raster.Hierarchical(regions[ri], d, c, eps, raster.Conservative)
 		if err != nil {
@@ -72,12 +83,12 @@ func (j *PointIdxJoiner) Bound() float64 { return j.bound }
 func (j *PointIdxJoiner) NumRanges() int { return j.ranges }
 
 // MemoryBytes returns the cover artifact's footprint (16 bytes per range),
-// excluding the shared store.
+// excluding the shared dataset.
 func (j *PointIdxJoiner) MemoryBytes() int { return 16 * j.ranges }
 
-// validate mirrors PointSet.validate for the resident store.
+// validate mirrors PointSet.validate for the resident dataset.
 func (j *PointIdxJoiner) validate(agg Agg) error {
-	if agg != Count && !j.store.HasWeights() {
+	if agg != Count && !j.src.HasWeights() {
 		return fmt.Errorf("join: %v requires a weight column", agg)
 	}
 	return nil
@@ -90,8 +101,10 @@ func (j *PointIdxJoiner) Aggregate(agg Agg) (Result, error) {
 }
 
 // AggregateParallel is Aggregate sharded across workers (≤ 0 selects
-// GOMAXPROCS) by region. Every region is computed wholly by one worker, so
-// results — including float sums — are identical for any worker count.
+// GOMAXPROCS) by region. One snapshot is loaded up front, so every region of
+// one call sees the same instant of the dataset; every region is computed
+// wholly by one worker, so results — including float sums — are identical
+// for any worker count.
 func (j *PointIdxJoiner) AggregateParallel(agg Agg, workers int) (Result, error) {
 	if err := j.validate(agg); err != nil {
 		return Result{}, err
@@ -99,6 +112,7 @@ func (j *PointIdxJoiner) AggregateParallel(agg Agg, workers int) (Result, error)
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	snap := j.src.Snapshot()
 	res := newResult(agg, len(j.covers))
 	shards := shardBounds(len(j.covers), workers)
 	var wg sync.WaitGroup
@@ -107,7 +121,7 @@ func (j *PointIdxJoiner) AggregateParallel(agg Agg, workers int) (Result, error)
 		go func(lo, hi int) {
 			defer wg.Done()
 			for ri := lo; ri < hi; ri++ {
-				j.aggregateRegion(&res, ri, agg)
+				j.aggregateRegion(snap, &res, ri, agg)
 			}
 		}(sh[0], sh[1])
 	}
@@ -115,28 +129,46 @@ func (j *PointIdxJoiner) AggregateParallel(agg Agg, workers int) (Result, error)
 	return res, nil
 }
 
-// aggregateRegion folds the store's range aggregates over one region's cover
-// ranges, writing only that region's slots of res.
-func (j *PointIdxJoiner) aggregateRegion(res *Result, ri int, agg Agg) {
+// aggregateRegion folds the snapshot's base range aggregates over one
+// region's cover ranges and brute-scans the delta tail against them, writing
+// only that region's slots of res.
+func (j *PointIdxJoiner) aggregateRegion(snap *pointstore.Snapshot, res *Result, ri int, agg Agg) {
 	var cnt int64
 	var sum float64
 	ext := math.Inf(1)
 	if agg == Max {
 		ext = math.Inf(-1)
 	}
-	for _, r := range j.covers[ri] {
-		lo, hi := j.store.Span(r.Lo, r.Hi)
+	ranges := j.covers[ri]
+	for _, r := range ranges {
+		lo, hi := snap.Span(r.Lo, r.Hi)
 		if lo >= hi {
 			continue
 		}
-		cnt += int64(hi - lo)
+		cnt += int64(snap.CountSpan(lo, hi))
 		switch agg {
 		case Sum, Avg:
-			sum += j.store.SumSpan(lo, hi)
+			sum += snap.SumSpan(lo, hi)
 		case Min:
-			ext = math.Min(ext, j.store.MinSpan(lo, hi))
+			ext = math.Min(ext, snap.MinSpan(lo, hi))
 		case Max:
-			ext = math.Max(ext, j.store.MaxSpan(lo, hi))
+			ext = math.Max(ext, snap.MaxSpan(lo, hi))
+		}
+	}
+	// Delta scan: every live delta row whose key falls in one of the
+	// region's cover ranges contributes exactly as a base row would.
+	for k, dn := 0, snap.DeltaLen(); k < dn; k++ {
+		if !snap.DeltaLive(k) || !coversKey(ranges, snap.DeltaKey(k)) {
+			continue
+		}
+		cnt++
+		switch agg {
+		case Sum, Avg:
+			sum += snap.DeltaWeight(k)
+		case Min:
+			ext = math.Min(ext, snap.DeltaWeight(k))
+		case Max:
+			ext = math.Max(ext, snap.DeltaWeight(k))
 		}
 	}
 	res.Counts[ri] = cnt
@@ -146,4 +178,11 @@ func (j *PointIdxJoiner) aggregateRegion(res *Result, ri int, agg Agg) {
 	if res.Extremes != nil {
 		res.Extremes[ri] = ext
 	}
+}
+
+// coversKey reports whether a leaf key falls in one of the merged, sorted
+// cover ranges — binary search, mirroring Approximation.CoversLeafPos.
+func coversKey(ranges []raster.PosRange, key uint64) bool {
+	i := sort.Search(len(ranges), func(i int) bool { return ranges[i].Hi >= key })
+	return i < len(ranges) && ranges[i].Lo <= key
 }

@@ -10,7 +10,7 @@ import (
 	"distbound/internal/sfc"
 )
 
-func pointIdxFixture(t *testing.T, n int, withWeights bool) (PointSet, []geom.Region, *pointstore.Store) {
+func pointIdxFixture(t *testing.T, n int, withWeights bool) (PointSet, []geom.Region, *pointstore.Mutable) {
 	t.Helper()
 	pts, weights := data.TaxiPoints(31, n)
 	if !withWeights {
@@ -18,7 +18,7 @@ func pointIdxFixture(t *testing.T, n int, withWeights bool) (PointSet, []geom.Re
 	}
 	ps := PointSet{Pts: pts, Weights: weights}
 	regions := data.Regions(data.Partition(32, 4, 4, 6))
-	store, err := pointstore.Build(pts, weights, data.CityDomain(), sfc.Hilbert{})
+	store, err := pointstore.NewMutable(pts, weights, data.CityDomain(), sfc.Hilbert{})
 	if err != nil {
 		t.Fatal(err)
 	}

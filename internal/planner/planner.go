@@ -76,6 +76,13 @@ type Query struct {
 	// and learned-indexed once, resident in memory. Only then is
 	// StrategyPointIdx available — an ad-hoc PointSet has no index to probe.
 	ResidentPoints bool
+	// DeltaPoints is the resident dataset's un-compacted tail: rows appended
+	// (or deleted from the delta) since the last compaction, which every
+	// region of a point-index query must brute-scan on top of its range
+	// probes. The term grows with regions × delta rows, so a bloated delta
+	// correctly tips plans back to the streaming strategies until compaction
+	// catches up. Ignored unless ResidentPoints is set.
+	DeltaPoints int
 	// CachedBuild marks strategies whose one-time build artifact (the ACT
 	// trie, the R*-tree, or the BRJ region-mask canvases) is already
 	// resident in the caller's cache: their build cost has been paid, so
@@ -155,6 +162,10 @@ type CostModel struct {
 	// RangeProbe is the cost of one resident-store range probe: two learned-
 	// index lookups plus the prefix-sum / block-aggregate folds.
 	RangeProbe float64
+	// DeltaProbe is the cost of testing one un-compacted delta row against
+	// one region's cover ranges (a binary search over the merged ranges);
+	// a point-index query pays it DeltaPoints × regions times.
+	DeltaProbe float64
 }
 
 // DefaultCostModel returns constants measured on the reference machine
@@ -168,6 +179,7 @@ func DefaultCostModel() CostModel {
 		PixelWrite:     2.5,
 		PointScatter:   25,
 		RangeProbe:     120,
+		DeltaProbe:     15,
 	}
 }
 
@@ -248,10 +260,13 @@ func (m CostModel) Estimate(q Query, s Strategy) Cost {
 		// store itself was built at registration and is shared by every
 		// bound, so it charges nothing here). Per run: one range probe per
 		// merged cover range — independent of the point count, which is the
-		// whole attraction for large resident datasets.
+		// whole attraction for large resident datasets — plus the delta
+		// scan: every region tests every un-compacted delta row against its
+		// cover ranges, so the term grows with regions × delta rows.
 		cells := 2 * st.totalPerim / cellSide
 		c.Build = cells * m.TrieCellBuild
-		c.PerRun = cells / rangeMergeFactor * m.RangeProbe
+		c.PerRun = cells/rangeMergeFactor*m.RangeProbe +
+			float64(q.DeltaPoints)*float64(st.count)*m.DeltaProbe
 	}
 	if q.CachedBuild[s] {
 		c.Build = 0
@@ -264,6 +279,11 @@ func (m CostModel) Estimate(q Query, s Strategy) Cost {
 type Plan struct {
 	Strategy Strategy
 	Costs    map[Strategy]Cost
+	// DeltaFraction is the share of a resident dataset's live points that
+	// sit in the un-compacted delta tail (0 for ad-hoc queries and freshly
+	// compacted datasets). Explain surfaces it so a plan that abandoned the
+	// point index under a bloated delta says why.
+	DeltaFraction float64
 }
 
 // Choose picks the cheapest strategy for q under the model. A bound that is
@@ -272,6 +292,13 @@ type Plan struct {
 // learned-index probe strategy is considered only for resident datasets.
 func (m CostModel) Choose(q Query) Plan {
 	p := Plan{Costs: map[Strategy]Cost{}}
+	if q.ResidentPoints && q.NumPoints > 0 && q.DeltaPoints > 0 {
+		// DeltaPoints counts scanned delta rows, dead ones included, so it
+		// can exceed the live count (append K then delete all K); anything
+		// at or past 1 means the same thing — compact now — so clamp rather
+		// than report a >100% share.
+		p.DeltaFraction = math.Min(1, float64(q.DeltaPoints)/float64(q.NumPoints))
+	}
 	if !(q.Bound > 0) {
 		p.Strategy = StrategyExact
 		p.Costs[StrategyExact] = m.Estimate(q, StrategyExact)
@@ -318,6 +345,10 @@ func (p Plan) Explain() string {
 		if i < len(rows)-1 {
 			out += "\n"
 		}
+	}
+	if p.DeltaFraction > 0 {
+		out += fmt.Sprintf("\ndelta: %.1f%% of resident points await compaction (pointidx per-run cost includes the delta scan)",
+			100*p.DeltaFraction)
 	}
 	return out
 }

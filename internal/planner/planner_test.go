@@ -212,6 +212,52 @@ func TestPointIdxRequiresResidentPoints(t *testing.T) {
 	}
 }
 
+// TestDeltaTermScalesAndTips pins the delta-fraction cost term: pointidx
+// per-run cost grows linearly with DeltaPoints × regions, a large enough
+// delta makes the planner abandon the point index, and Choose/Explain
+// surface the fraction.
+func TestDeltaTermScalesAndTips(t *testing.T) {
+	regions := data.Regions(data.Census(3, 200))
+	m := DefaultCostModel()
+	base := Query{NumPoints: 100_000, Regions: regions, Bound: 16, Repetitions: 1_000_000, ResidentPoints: true}
+	clean := m.Estimate(base, StrategyPointIdx)
+
+	withDelta := base
+	withDelta.DeltaPoints = 10_000
+	dirty := m.Estimate(withDelta, StrategyPointIdx)
+	wantExtra := float64(withDelta.DeltaPoints) * float64(len(regions)) * m.DeltaProbe
+	if got := dirty.PerRun - clean.PerRun; got != wantExtra {
+		t.Errorf("delta term added %g per run, want %g", got, wantExtra)
+	}
+	// The delta term is per-run, never build: a cached cover changes nothing.
+	withDelta.CachedBuild = map[Strategy]bool{StrategyPointIdx: true}
+	if c := m.Estimate(withDelta, StrategyPointIdx); c.PerRun != dirty.PerRun || c.Build != 0 {
+		t.Error("cached build altered the delta per-run term")
+	}
+
+	if p := m.Choose(base); p.Strategy != StrategyPointIdx || p.DeltaFraction != 0 {
+		t.Fatalf("clean resident plan: %v fraction %g", p.Strategy, p.DeltaFraction)
+	}
+	bloated := base
+	bloated.DeltaPoints = base.NumPoints
+	p := m.Choose(bloated)
+	if p.Strategy == StrategyPointIdx {
+		t.Errorf("planner kept pointidx under a 100%% delta (costs %v)", p.Costs)
+	}
+	if p.DeltaFraction != 1 {
+		t.Errorf("delta fraction %g, want 1", p.DeltaFraction)
+	}
+	if out := p.Explain(); !strings.Contains(out, "delta: 100.0%") {
+		t.Errorf("Explain omits the delta line:\n%s", out)
+	}
+	// Ad-hoc queries never carry the term or the line.
+	adhoc := bloated
+	adhoc.ResidentPoints = false
+	if p := m.Choose(adhoc); p.DeltaFraction != 0 || strings.Contains(p.Explain(), "delta:") {
+		t.Error("ad-hoc plan leaked the delta term")
+	}
+}
+
 func TestStatsOf(t *testing.T) {
 	regions := data.Regions(data.Census(1, 50))
 	st := statsOf(regions)

@@ -1,0 +1,149 @@
+package pointstore
+
+import (
+	"math"
+	"testing"
+
+	"distbound/internal/geom"
+	"distbound/internal/sfc"
+)
+
+// FuzzMutableOps drives random Append/Delete/Compact sequences against the
+// mutable store and checks every intermediate state against a naive
+// map-based reference. The op stream is the fuzz input, three bytes per op:
+//
+//	op%4 == 0:  append point (x, y) = (4·b1, 4·b2) with weight int8(b1+b2)/8
+//	op%4 == 1:  delete the (b1·256+b2 mod issued)-th ID ever issued
+//	op%4 == 2:  compact (operand bytes ignored)
+//	op%4 == 3:  check the sub-key-range carved out by b1, b2
+//
+// Weights are exact eighths, so COUNT/SUM/MIN/MAX over any range must match
+// the reference bit-for-bit at every step, pre- and post-compaction.
+func FuzzMutableOps(f *testing.F) {
+	f.Add([]byte("012345678"))
+	f.Add([]byte("\x00\x10\x20\x01\x00\x00\x02\x00\x00\x03\x40\xff"))
+	f.Add([]byte("aAzZ09!?~qwertyuiopasdfghjklzxcvbnm"))
+	f.Add([]byte("\x00\xff\xff\x00\x00\x00\x01\x00\x01\x02..\x03\x00\xff\x01\x00\x02"))
+
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		d, err := sfc.NewDomain(geom.Pt(0, 0), 1024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := sfc.Hilbert{}
+		seedPts := []geom.Point{geom.Pt(1, 1), geom.Pt(512, 512), geom.Pt(1000, 3)}
+		seedWs := []float64{0.5, -2, 7.25}
+		m, err := NewMutable(seedPts, seedWs, d, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		type rec struct {
+			key  uint64
+			w    float64
+			live bool
+		}
+		var issued []rec // index == ID
+		for i, p := range seedPts {
+			pos, ok := d.LeafPos(c, p)
+			if !ok {
+				t.Fatal("seed point outside domain")
+			}
+			issued = append(issued, rec{key: pos, w: seedWs[i], live: true})
+		}
+
+		check := func(lo, hi uint64) {
+			t.Helper()
+			var cnt int
+			sum := 0.0
+			mn, mx := math.Inf(1), math.Inf(-1)
+			for _, r := range issued {
+				if !r.live || r.key < lo || r.key > hi {
+					continue
+				}
+				cnt++
+				sum += r.w
+				mn = math.Min(mn, r.w)
+				mx = math.Max(mx, r.w)
+			}
+			s := m.Snapshot()
+			i, j := s.Span(lo, hi)
+			gotCnt, gotSum := s.CountSpan(i, j), s.SumSpan(i, j)
+			gotMin, gotMax := s.MinSpan(i, j), s.MaxSpan(i, j)
+			for k, dn := 0, s.DeltaLen(); k < dn; k++ {
+				if !s.DeltaLive(k) {
+					continue
+				}
+				key := s.DeltaKey(k)
+				if key < lo || key > hi {
+					continue
+				}
+				gotCnt++
+				w := s.DeltaWeight(k)
+				gotSum += w
+				gotMin = math.Min(gotMin, w)
+				gotMax = math.Max(gotMax, w)
+			}
+			if gotCnt != cnt || gotSum != sum {
+				t.Fatalf("range [%d,%d]: got count/sum %d/%g, want %d/%g", lo, hi, gotCnt, gotSum, cnt, sum)
+			}
+			if cnt > 0 && (gotMin != mn || gotMax != mx) {
+				t.Fatalf("range [%d,%d]: got extremes %g/%g, want %g/%g", lo, hi, gotMin, gotMax, mn, mx)
+			}
+		}
+
+		for i := 0; i+2 < len(ops); i += 3 {
+			op, b1, b2 := ops[i], ops[i+1], ops[i+2]
+			switch op % 4 {
+			case 0:
+				p := geom.Pt(float64(b1)*4, float64(b2)*4)
+				w := float64(int8(b1+b2)) / 8
+				ids, err := m.Append([]geom.Point{p}, []float64{w})
+				if err != nil {
+					t.Fatalf("append %v: %v", p, err)
+				}
+				if ids[0] != uint64(len(issued)) {
+					t.Fatalf("append assigned ID %d, want %d", ids[0], len(issued))
+				}
+				pos, _ := d.LeafPos(c, p)
+				issued = append(issued, rec{key: pos, w: w, live: true})
+			case 1:
+				id := uint64(int(b1)*256+int(b2)) % uint64(len(issued))
+				wantLive := issued[id].live
+				got := m.Delete(id)
+				if (got == 1) != wantLive {
+					t.Fatalf("delete %d reported %d, live was %v", id, got, wantLive)
+				}
+				issued[id].live = false
+			case 2:
+				gen, pending := m.Gen(), m.Pending()
+				m.Compact()
+				if pending > 0 && m.Gen() != gen+1 {
+					t.Fatal("compaction with pending rows did not bump the generation")
+				}
+				if m.Pending() != 0 {
+					t.Fatalf("pending %d after compaction", m.Pending())
+				}
+			case 3:
+				lo := uint64(b1) << 56
+				hi := uint64(b2)<<56 + (1<<56 - 1)
+				if lo > hi {
+					lo, hi = hi&^uint64(1<<56-1), lo|(1<<56-1)
+				}
+				check(lo, hi)
+			}
+			check(0, math.MaxUint64)
+		}
+		// The end state must survive a final compaction bit-for-bit.
+		m.Compact()
+		check(0, math.MaxUint64)
+		live := 0
+		for _, r := range issued {
+			if r.live {
+				live++
+			}
+		}
+		if m.Len() != live {
+			t.Fatalf("final live count %d != reference %d", m.Len(), live)
+		}
+	})
+}

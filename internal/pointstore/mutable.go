@@ -1,0 +1,535 @@
+// Mutable extends the resident point store with a write path: an append-only
+// delta buffer (unsorted tail with its own weights) and a tombstone set are
+// served alongside the SFC-sorted base column, and a compaction merges both
+// into a freshly sorted base that is swapped in atomically via a generation
+// pointer.
+//
+// The concurrency model is snapshot isolation without read locks: every
+// mutation publishes a new immutable *Snapshot through an atomic pointer, and
+// every query loads the pointer once and works on data that can never change
+// underneath it — no torn reads, no locks on the read path. Mutations and
+// compaction serialize on one mutex; delta columns grow with the shared-array
+// append idiom (a reader's snapshot only spans indexes written before that
+// snapshot was published, so writers beyond its length never race it), while
+// the small tombstone structures are copied on write.
+package pointstore
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"distbound/internal/geom"
+	"distbound/internal/sfc"
+)
+
+// Mutable is a resident point dataset that accepts appends and deletes after
+// construction. All read methods go through Snapshot and are safe for any
+// number of concurrent readers; Append, Delete and Compact are safe to call
+// concurrently with reads and with each other.
+type Mutable struct {
+	domain  sfc.Domain
+	curve   sfc.Curve
+	hasW    bool
+	dropped int // set at construction, immutable afterwards
+
+	mu        sync.Mutex // serializes mutations and compaction
+	snap      atomic.Pointer[Snapshot]
+	baseByID  map[uint64]int // live base rows by point ID
+	deltaByID map[uint64]int // live delta rows by point ID
+	nextID    uint64
+}
+
+// Snapshot is one immutable, internally consistent view of a Mutable: the
+// sorted base columns, the tombstoned base rows, and the delta tail as of one
+// publication. A query that loads a snapshot sees exactly the points live at
+// that instant regardless of concurrent mutations or compactions.
+type Snapshot struct {
+	base    *Store
+	baseIDs []uint64     // point IDs co-sorted with base keys
+	basePts []geom.Point // original coordinates co-sorted with base keys
+
+	tombPos    []int     // sorted base rows deleted since the last compaction
+	tombPrefix []float64 // prefix sums of tombstoned weights; nil when weightless
+
+	deltaKeys []uint64
+	deltaWs   []float64 // nil when weightless
+	deltaIDs  []uint64
+	deltaPts  []geom.Point
+	deltaDead []int // sorted delta rows deleted before compaction collected them
+
+	gen uint64 // bumped by every compaction
+
+	matOnce sync.Once // lazily materialized survivor relation
+	matPts  []geom.Point
+	matWs   []float64
+}
+
+// NewMutable linearizes, sorts and indexes the points like Build, assigning
+// each point the ID equal to its input position (appends continue the
+// sequence). Points outside the domain are excluded and counted in Dropped;
+// their IDs are never live. Ties on the curve key sort by ID, so rebuilds of
+// the same live set are deterministic.
+func NewMutable(pts []geom.Point, weights []float64, d sfc.Domain, c sfc.Curve) (*Mutable, error) {
+	if err := validateWeights(pts, weights); err != nil {
+		return nil, err
+	}
+	m := &Mutable{domain: d, curve: c, hasW: weights != nil, nextID: uint64(len(pts))}
+	keys := make([]uint64, 0, len(pts))
+	ids := make([]uint64, 0, len(pts))
+	kept := make([]geom.Point, 0, len(pts))
+	var ws []float64
+	if weights != nil {
+		ws = make([]float64, 0, len(pts))
+	}
+	for i, p := range pts {
+		pos, ok := d.LeafPos(c, p)
+		if !ok {
+			m.dropped++
+			continue
+		}
+		keys = append(keys, pos)
+		ids = append(ids, uint64(i))
+		kept = append(kept, p)
+		if weights != nil {
+			ws = append(ws, weights[i])
+		}
+	}
+	m.installBase(keys, ws, ids, kept, 0)
+	return m, nil
+}
+
+// validateWeights rejects a mismatched or non-finite weight column with the
+// same contract as Build.
+func validateWeights(pts []geom.Point, weights []float64) error {
+	if weights != nil && len(weights) != len(pts) {
+		return fmt.Errorf("pointstore: %d weights for %d points", len(weights), len(pts))
+	}
+	for i, w := range weights {
+		if math.IsNaN(w) || math.IsInf(w, 0) {
+			return fmt.Errorf("pointstore: weight %d is %v; prefix-sum aggregation requires finite weights", i, w)
+		}
+	}
+	return nil
+}
+
+// installBase sorts the columns by (key, ID) and publishes a fresh-base
+// snapshot with empty delta and tombstones. Called at construction and from
+// Compact, with mu held in the latter case.
+func (m *Mutable) installBase(keys []uint64, ws []float64, ids []uint64, pts []geom.Point, gen uint64) {
+	ord := make([]int, len(keys))
+	for i := range ord {
+		ord[i] = i
+	}
+	sort.Slice(ord, func(a, b int) bool {
+		if keys[ord[a]] != keys[ord[b]] {
+			return keys[ord[a]] < keys[ord[b]]
+		}
+		return ids[ord[a]] < ids[ord[b]]
+	})
+	sk := make([]uint64, len(keys))
+	si := make([]uint64, len(keys))
+	sp := make([]geom.Point, len(keys))
+	var sw []float64
+	if ws != nil {
+		sw = make([]float64, len(keys))
+	}
+	byID := make(map[uint64]int, len(keys))
+	for i, j := range ord {
+		sk[i], si[i], sp[i] = keys[j], ids[j], pts[j]
+		if ws != nil {
+			sw[i] = ws[j]
+		}
+		byID[si[i]] = i
+	}
+	m.baseByID = byID
+	m.deltaByID = map[uint64]int{}
+	m.snap.Store(&Snapshot{
+		base:    newStoreSorted(sk, sw, m.domain, m.curve, m.dropped),
+		baseIDs: si,
+		basePts: sp,
+		gen:     gen,
+	})
+}
+
+// Snapshot returns the current immutable view. The result never changes;
+// callers needing a consistent multi-operation read perform it against one
+// snapshot.
+func (m *Mutable) Snapshot() *Snapshot { return m.snap.Load() }
+
+// Domain returns the domain the keys are linearized over.
+func (m *Mutable) Domain() sfc.Domain { return m.domain }
+
+// Curve returns the linearization curve.
+func (m *Mutable) Curve() sfc.Curve { return m.curve }
+
+// HasWeights reports whether the dataset carries an attribute column; it is
+// fixed at construction.
+func (m *Mutable) HasWeights() bool { return m.hasW }
+
+// Dropped returns how many construction-time points fell outside the domain.
+// Appends reject out-of-domain points instead of dropping them, so the count
+// never grows.
+func (m *Mutable) Dropped() int { return m.dropped }
+
+// Len returns the number of live points (base minus tombstones plus live
+// delta).
+func (m *Mutable) Len() int { return m.Snapshot().LiveLen() }
+
+// Gen returns the current compaction generation.
+func (m *Mutable) Gen() uint64 { return m.Snapshot().gen }
+
+// Pending returns how much un-compacted state the store carries: delta rows
+// (dead ones included — queries still scan them) plus base tombstones. It is
+// the quantity an auto-compaction threshold watches.
+func (m *Mutable) Pending() int {
+	s := m.Snapshot()
+	return len(s.deltaKeys) + len(s.tombPos)
+}
+
+// MemoryBytes returns the resident footprint across base columns, retained
+// coordinates, delta tail and tombstones.
+func (m *Mutable) MemoryBytes() int { return m.Snapshot().MemoryBytes() }
+
+// Append adds points (with weights iff the dataset has a weight column),
+// assigning and returning their IDs. The append is atomic: any invalid input
+// — mismatched or non-finite weights, a point outside the domain — rejects
+// the whole batch. Appended points are queryable the moment Append returns.
+func (m *Mutable) Append(pts []geom.Point, weights []float64) ([]uint64, error) {
+	if m.hasW && weights == nil && len(pts) > 0 {
+		return nil, fmt.Errorf("pointstore: dataset has a weight column; Append requires weights")
+	}
+	if !m.hasW && weights != nil {
+		return nil, fmt.Errorf("pointstore: dataset has no weight column; Append must not supply weights")
+	}
+	if err := validateWeights(pts, weights); err != nil {
+		return nil, err
+	}
+	keys := make([]uint64, len(pts))
+	for i, p := range pts {
+		pos, ok := m.domain.LeafPos(m.curve, p)
+		if !ok {
+			return nil, fmt.Errorf("pointstore: appended point %v lies outside the domain (origin %v, size %g)",
+				p, m.domain.Origin, m.domain.Size)
+		}
+		keys[i] = pos
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.snap.Load()
+	ids := make([]uint64, len(pts))
+	// Shared-array append: rows beyond an old snapshot's length are invisible
+	// to its readers, so growing in place (when capacity allows) never races
+	// a read. Mutations are serialized by mu.
+	nk, ni, np := s.deltaKeys, s.deltaIDs, s.deltaPts
+	nw := s.deltaWs
+	for i := range pts {
+		ids[i] = m.nextID
+		m.deltaByID[m.nextID] = len(nk)
+		m.nextID++
+		nk = append(nk, keys[i])
+		ni = append(ni, ids[i])
+		np = append(np, pts[i])
+		if m.hasW {
+			nw = append(nw, weights[i])
+		}
+	}
+	m.snap.Store(&Snapshot{
+		base: s.base, baseIDs: s.baseIDs, basePts: s.basePts,
+		tombPos: s.tombPos, tombPrefix: s.tombPrefix,
+		deltaKeys: nk, deltaWs: nw, deltaIDs: ni, deltaPts: np,
+		deltaDead: s.deltaDead,
+		gen:       s.gen,
+	})
+	return ids, nil
+}
+
+// Delete removes the points with the given IDs, returning how many were live
+// (already-deleted or unknown IDs are skipped). Base points become
+// tombstones; delta points are marked dead in place. Deletions are visible
+// the moment Delete returns.
+//
+// Copy-on-write snapshots make one Delete call cost O(existing tombstones +
+// batch) regardless of batch size: prefer one call with many IDs over a loop
+// of single-ID calls, whose total cost grows quadratically in the tombstone
+// count (bounded by the compaction threshold, which counts tombstones too).
+func (m *Mutable) Delete(ids ...uint64) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.snap.Load()
+	var newTombs, newDead []int
+	for _, id := range ids {
+		if row, ok := m.baseByID[id]; ok {
+			newTombs = append(newTombs, row)
+			delete(m.baseByID, id)
+		} else if k, ok := m.deltaByID[id]; ok {
+			newDead = append(newDead, k)
+			delete(m.deltaByID, id)
+		}
+	}
+	if len(newTombs) == 0 && len(newDead) == 0 {
+		return 0
+	}
+	ns := &Snapshot{
+		base: s.base, baseIDs: s.baseIDs, basePts: s.basePts,
+		tombPos: s.tombPos, tombPrefix: s.tombPrefix,
+		deltaKeys: s.deltaKeys, deltaWs: s.deltaWs, deltaIDs: s.deltaIDs, deltaPts: s.deltaPts,
+		deltaDead: s.deltaDead,
+		gen:       s.gen,
+	}
+	if len(newTombs) > 0 {
+		ns.tombPos = mergeSorted(s.tombPos, newTombs)
+		if m.hasW {
+			// Tombstone weights get their own prefix column so a span's
+			// deleted sum is two lookups, mirroring the base prefix column.
+			ns.tombPrefix = make([]float64, len(ns.tombPos)+1)
+			for i, row := range ns.tombPos {
+				ns.tombPrefix[i+1] = ns.tombPrefix[i] + s.base.weights[row]
+			}
+		}
+	}
+	if len(newDead) > 0 {
+		ns.deltaDead = mergeSorted(s.deltaDead, newDead)
+	}
+	m.snap.Store(ns)
+	return len(newTombs) + len(newDead)
+}
+
+// mergeSorted returns a fresh sorted slice holding both inputs; add need not
+// be sorted. The old slice is never written — snapshots sharing it stay valid.
+func mergeSorted(old, add []int) []int {
+	sort.Ints(add)
+	out := make([]int, 0, len(old)+len(add))
+	i, j := 0, 0
+	for i < len(old) || j < len(add) {
+		if j == len(add) || (i < len(old) && old[i] < add[j]) {
+			out = append(out, old[i])
+			i++
+		} else {
+			out = append(out, add[j])
+			j++
+		}
+	}
+	return out
+}
+
+// Compact merges the delta tail and tombstones into a freshly sorted base and
+// swaps it in atomically, bumping the generation. Queries in flight keep
+// reading the pre-compaction snapshot; queries starting after Compact returns
+// see only the new base. Appends and deletes block for the duration (queries
+// never do), which is why a serving engine runs Compact from a background
+// goroutine. Compacting an already-compact store is a cheap no-op.
+func (m *Mutable) Compact() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.snap.Load()
+	if len(s.deltaKeys) == 0 && len(s.tombPos) == 0 {
+		return
+	}
+	n := s.LiveLen()
+	keys := make([]uint64, 0, n)
+	ids := make([]uint64, 0, n)
+	pts := make([]geom.Point, 0, n)
+	var ws []float64
+	if m.hasW {
+		ws = make([]float64, 0, n)
+	}
+	ti := 0
+	for row := range s.baseIDs {
+		if ti < len(s.tombPos) && s.tombPos[ti] == row {
+			ti++
+			continue
+		}
+		keys = append(keys, s.base.keys[row])
+		ids = append(ids, s.baseIDs[row])
+		pts = append(pts, s.basePts[row])
+		if m.hasW {
+			ws = append(ws, s.base.weights[row])
+		}
+	}
+	di := 0
+	for k := range s.deltaKeys {
+		if di < len(s.deltaDead) && s.deltaDead[di] == k {
+			di++
+			continue
+		}
+		keys = append(keys, s.deltaKeys[k])
+		ids = append(ids, s.deltaIDs[k])
+		pts = append(pts, s.deltaPts[k])
+		if m.hasW {
+			ws = append(ws, s.deltaWs[k])
+		}
+	}
+	m.installBase(keys, ws, ids, pts, s.gen+1)
+}
+
+// Gen returns the snapshot's compaction generation.
+func (s *Snapshot) Gen() uint64 { return s.gen }
+
+// BaseLen returns the base row count, tombstoned rows included.
+func (s *Snapshot) BaseLen() int { return s.base.Len() }
+
+// Tombstones returns the number of tombstoned base rows.
+func (s *Snapshot) Tombstones() int { return len(s.tombPos) }
+
+// DeltaLen returns the delta tail length, dead rows included — the row count
+// a delta scan walks.
+func (s *Snapshot) DeltaLen() int { return len(s.deltaKeys) }
+
+// DeltaLiveLen returns the number of live delta rows.
+func (s *Snapshot) DeltaLiveLen() int { return len(s.deltaKeys) - len(s.deltaDead) }
+
+// LiveLen returns the number of live points in the snapshot.
+func (s *Snapshot) LiveLen() int {
+	return s.base.Len() - len(s.tombPos) + s.DeltaLiveLen()
+}
+
+// HasWeights reports whether the snapshot carries an attribute column.
+func (s *Snapshot) HasWeights() bool { return s.base.HasWeights() }
+
+// Span locates the base rows whose keys fall in the inclusive key range
+// [lo, hi] — tombstoned rows included; the per-span accessors subtract them.
+func (s *Snapshot) Span(lo, hi uint64) (i, j int) { return s.base.Span(lo, hi) }
+
+// tombsIn returns how many tombstones fall in base rows [i, j), and the index
+// of the first one.
+func (s *Snapshot) tombsIn(i, j int) (count, first int) {
+	first = sort.SearchInts(s.tombPos, i)
+	return sort.SearchInts(s.tombPos, j) - first, first
+}
+
+// CountSpan returns the number of live points in base rows [i, j).
+func (s *Snapshot) CountSpan(i, j int) int {
+	if i >= j {
+		return 0
+	}
+	t, _ := s.tombsIn(i, j)
+	return j - i - t
+}
+
+// SumSpan returns the live weight sum over base rows [i, j): the base prefix
+// difference minus the tombstoned prefix difference.
+func (s *Snapshot) SumSpan(i, j int) float64 {
+	if i >= j {
+		return 0
+	}
+	t, first := s.tombsIn(i, j)
+	sum := s.base.SumSpan(i, j)
+	if t > 0 {
+		sum -= s.tombPrefix[first+t] - s.tombPrefix[first]
+	}
+	return sum
+}
+
+// MinSpan returns the minimum live weight over base rows [i, j), +Inf when no
+// live row remains. Blocks without tombstones fold through the sparse block
+// column exactly as the immutable store does; blocks containing a tombstone
+// are scanned with the dead rows skipped.
+func (s *Snapshot) MinSpan(i, j int) float64 {
+	return s.extremeSpan(i, j, false)
+}
+
+// MaxSpan is MinSpan for the maximum (-Inf when empty).
+func (s *Snapshot) MaxSpan(i, j int) float64 {
+	return s.extremeSpan(i, j, true)
+}
+
+func (s *Snapshot) extremeSpan(i, j int, maxAgg bool) float64 {
+	if len(s.tombPos) == 0 {
+		if maxAgg {
+			return s.base.MaxSpan(i, j)
+		}
+		return s.base.MinSpan(i, j)
+	}
+	m := math.Inf(1)
+	if maxAgg {
+		m = math.Inf(-1)
+	}
+	_, t := s.tombsIn(i, j)
+	for i < j {
+		blockClean := t >= len(s.tombPos) || s.tombPos[t] >= i+BlockSize
+		if i%BlockSize == 0 && i+BlockSize <= j && blockClean {
+			if maxAgg {
+				m = math.Max(m, s.base.blockMax[i/BlockSize])
+			} else {
+				m = math.Min(m, s.base.blockMin[i/BlockSize])
+			}
+			i += BlockSize
+			continue
+		}
+		end := min((i/BlockSize+1)*BlockSize, j)
+		for ; i < end; i++ {
+			if t < len(s.tombPos) && s.tombPos[t] == i {
+				t++
+				continue
+			}
+			if maxAgg {
+				m = math.Max(m, s.base.weights[i])
+			} else {
+				m = math.Min(m, s.base.weights[i])
+			}
+		}
+	}
+	return m
+}
+
+// DeltaKey returns delta row k's curve key.
+func (s *Snapshot) DeltaKey(k int) uint64 { return s.deltaKeys[k] }
+
+// DeltaWeight returns delta row k's weight; the snapshot must have weights.
+func (s *Snapshot) DeltaWeight(k int) float64 { return s.deltaWs[k] }
+
+// DeltaLive reports whether delta row k is still live.
+func (s *Snapshot) DeltaLive(k int) bool {
+	d := sort.SearchInts(s.deltaDead, k)
+	return d == len(s.deltaDead) || s.deltaDead[d] != k
+}
+
+// Materialize returns the snapshot's live points (base survivors in key
+// order, then live delta rows in append order) with their weights. The
+// slices are built once per snapshot and shared; callers must treat them as
+// read-only — this is the point relation streaming strategies consume.
+func (s *Snapshot) Materialize() ([]geom.Point, []float64) {
+	s.matOnce.Do(func() {
+		n := s.LiveLen()
+		pts := make([]geom.Point, 0, n)
+		var ws []float64
+		if s.HasWeights() {
+			ws = make([]float64, 0, n)
+		}
+		ti := 0
+		for row := range s.basePts {
+			if ti < len(s.tombPos) && s.tombPos[ti] == row {
+				ti++
+				continue
+			}
+			pts = append(pts, s.basePts[row])
+			if ws != nil {
+				ws = append(ws, s.base.weights[row])
+			}
+		}
+		for k := range s.deltaKeys {
+			if !s.DeltaLive(k) {
+				continue
+			}
+			pts = append(pts, s.deltaPts[k])
+			if ws != nil {
+				ws = append(ws, s.deltaWs[k])
+			}
+		}
+		s.matPts, s.matWs = pts, ws
+	})
+	return s.matPts, s.matWs
+}
+
+// MemoryBytes returns the snapshot's resident footprint: the base store with
+// its retained coordinates and IDs, plus the delta tail and tombstones.
+func (s *Snapshot) MemoryBytes() int {
+	return s.base.MemoryBytes() +
+		16*len(s.basePts) + 8*len(s.baseIDs) +
+		8*(len(s.tombPos)+len(s.tombPrefix)+len(s.deltaDead)) +
+		8*len(s.deltaKeys) + 8*len(s.deltaWs) + 8*len(s.deltaIDs) + 16*len(s.deltaPts)
+}

@@ -13,7 +13,6 @@
 package pointstore
 
 import (
-	"fmt"
 	"math"
 	"sort"
 
@@ -57,13 +56,8 @@ type Store struct {
 // point, where a streaming join would localize it), so Build rejects it
 // instead of silently diverging from the streaming aggregates.
 func Build(pts []geom.Point, weights []float64, d sfc.Domain, c sfc.Curve) (*Store, error) {
-	if weights != nil && len(weights) != len(pts) {
-		return nil, fmt.Errorf("pointstore: %d weights for %d points", len(weights), len(pts))
-	}
-	for i, w := range weights {
-		if math.IsNaN(w) || math.IsInf(w, 0) {
-			return nil, fmt.Errorf("pointstore: weight %d is %v; prefix-sum aggregation requires finite weights", i, w)
-		}
+	if err := validateWeights(pts, weights); err != nil {
+		return nil, err
 	}
 	s := &Store{domain: d, curve: c}
 	keys := make([]uint64, 0, len(pts))
@@ -95,7 +89,28 @@ func Build(pts []geom.Point, weights []float64, d sfc.Domain, c sfc.Curve) (*Sto
 			sk[i], sw[i] = keys[j], ws[j]
 		}
 		keys, ws = sk, sw
+	} else {
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	}
 
+	s.finishSorted(keys, ws)
+	return s, nil
+}
+
+// newStoreSorted builds a Store directly from already-sorted columns — the
+// compaction path, which merges pre-linearized base and delta columns and
+// must not pay a second linearization or sort. keys must be ascending and ws
+// either nil or co-sorted with keys.
+func newStoreSorted(keys []uint64, ws []float64, d sfc.Domain, c sfc.Curve, dropped int) *Store {
+	s := &Store{domain: d, curve: c, dropped: dropped}
+	s.finishSorted(keys, ws)
+	return s
+}
+
+// finishSorted installs the sorted columns and derives the prefix-sum and
+// block-aggregate columns plus the learned index.
+func (s *Store) finishSorted(keys []uint64, ws []float64) {
+	if ws != nil {
 		s.prefix = make([]float64, len(ws)+1)
 		for i, w := range ws {
 			s.prefix[i+1] = s.prefix[i] + w
@@ -112,14 +127,10 @@ func Build(pts []geom.Point, weights []float64, d sfc.Domain, c sfc.Curve) (*Sto
 			}
 			s.blockMin[b], s.blockMax[b] = mn, mx
 		}
-	} else {
-		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
 	}
-
 	s.keys = keys
 	s.weights = ws
 	s.index = rs.Build(keys, rs.DefaultRadixBits, rs.DefaultSplineError)
-	return s, nil
 }
 
 // Len returns the number of resident (in-domain) points.
