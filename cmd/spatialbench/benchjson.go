@@ -13,15 +13,16 @@ import (
 // name, the run configuration, and flat numeric metrics so successive runs
 // diff cleanly.
 type benchJSON struct {
-	Name          string             `json:"name"`
-	Timestamp     string             `json:"timestamp"`
-	Config        benchConfigJSON    `json:"config"`
-	Queries       int                `json:"queries"`
-	Seconds       float64            `json:"seconds"`
-	ThroughputQPS float64            `json:"throughput_qps"`
-	LatencyMS     map[string]float64 `json:"latency_ms"`
-	Strategies    map[string]int     `json:"strategies"`
-	Comparisons   []pathComparison   `json:"resident_vs_streaming,omitempty"`
+	Name          string               `json:"name"`
+	Timestamp     string               `json:"timestamp"`
+	Config        benchConfigJSON      `json:"config"`
+	Queries       int                  `json:"queries"`
+	Seconds       float64              `json:"seconds"`
+	ThroughputQPS float64              `json:"throughput_qps"`
+	LatencyMS     map[string]float64   `json:"latency_ms"`
+	Strategies    map[string]int       `json:"strategies"`
+	Comparisons   []pathComparison     `json:"resident_vs_streaming,omitempty"`
+	MultiAgg      []multiAggComparison `json:"multiagg_vs_sequential,omitempty"`
 }
 
 type benchConfigJSON struct {
@@ -42,7 +43,8 @@ type benchConfigJSON struct {
 // writeBenchJSON renders one load run as a BENCH_*.json document.
 func writeBenchJSON(cfg loadConfig, queries int, elapsed time.Duration,
 	pct func(float64) time.Duration, max time.Duration,
-	strategies map[distbound.Strategy]int, comparisons []pathComparison) error {
+	strategies map[distbound.Strategy]int, comparisons []pathComparison,
+	multiAggs []multiAggComparison) error {
 	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1e3 }
 	name := "spatialbench-load"
 	queryPoints := cfg.queryPoints
@@ -84,6 +86,7 @@ func writeBenchJSON(cfg loadConfig, queries int, elapsed time.Duration,
 		doc.Strategies[s.String()] = n
 	}
 	doc.Comparisons = comparisons
+	doc.MultiAgg = multiAggs
 	out, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err

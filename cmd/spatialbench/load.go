@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -31,6 +32,7 @@ type loadConfig struct {
 	workers     int
 	queryPoints int
 	resident    bool
+	multiagg    bool
 	jsonPath    string
 
 	ingest           bool
@@ -290,6 +292,93 @@ func compareResident(e *distbound.Engine, ds *distbound.Dataset, pool distbound.
 	return out
 }
 
+// multiAggComparison is one bound's head-to-head between a single Do
+// carrying all five aggregates and five sequential single-aggregate calls.
+type multiAggComparison struct {
+	Bound        float64 `json:"bound"`
+	Strategy     string  `json:"strategy"`
+	SinglePassMS float64 `json:"single_pass_ms"`
+	SequentialMS float64 `json:"sequential_ms"`
+	Speedup      float64 `json:"speedup"`
+}
+
+// compareMultiAgg times Engine.Do with the full aggregate set against five
+// sequential single-aggregate Do calls, per bound, on warm caches — the
+// one-plan / one-build / one-fold economy the Request API exists for. With
+// -resident the head-to-head runs on the registered dataset, otherwise on
+// the ad-hoc pool.
+func compareMultiAgg(e *distbound.Engine, ds *distbound.Dataset, pool distbound.PointSet, cfg loadConfig) []multiAggComparison {
+	const reps = 5
+	ctx := context.Background()
+	allAggs := []distbound.Agg{distbound.Count, distbound.Sum, distbound.Avg, distbound.Min, distbound.Max}
+	var out []multiAggComparison
+	for _, bound := range cfg.bounds {
+		if bound <= 0 {
+			continue
+		}
+		base := distbound.Request{Aggs: allAggs, Bound: bound, Repetitions: cfg.repetitions}
+		if ds != nil {
+			base.Dataset = ds
+		} else {
+			base.Points = pool
+		}
+		// Warm plans and artifacts on BOTH sides so the timed loops measure
+		// folds only: the single-agg requests plan independently of the set
+		// (a Count alone may pick BRJ where the Min-carrying set cannot), so
+		// each side must build its own artifacts before the clock starts.
+		warm, err := e.Do(ctx, base)
+		if err != nil {
+			fmt.Printf("multi-agg bound %g: warmup failed: %v\n", bound, err)
+			continue
+		}
+		warmupOK := true
+		for _, agg := range allAggs {
+			req := base
+			req.Aggs = []distbound.Agg{agg}
+			if _, err := e.Do(ctx, req); err != nil {
+				fmt.Printf("multi-agg bound %g: %v warmup failed: %v\n", bound, agg, err)
+				warmupOK = false
+				break
+			}
+		}
+		if !warmupOK {
+			continue
+		}
+		// Strategy labels the single-pass side; sequential calls may run a
+		// different plan per aggregate.
+		c := multiAggComparison{Bound: bound, Strategy: warm.Strategy.String()}
+
+		t0 := time.Now()
+		for i := 0; i < reps; i++ {
+			if _, err := e.Do(ctx, base); err != nil {
+				fmt.Printf("multi-agg bound %g: single-pass run failed: %v\n", bound, err)
+				return out
+			}
+		}
+		c.SinglePassMS = float64(time.Since(t0).Microseconds()) / 1e3 / reps
+
+		t0 = time.Now()
+		for i := 0; i < reps; i++ {
+			for _, agg := range allAggs {
+				req := base
+				req.Aggs = []distbound.Agg{agg}
+				if _, err := e.Do(ctx, req); err != nil {
+					fmt.Printf("multi-agg bound %g: sequential run failed: %v\n", bound, err)
+					return out
+				}
+			}
+		}
+		c.SequentialMS = float64(time.Since(t0).Microseconds()) / 1e3 / reps
+		if c.SinglePassMS > 0 {
+			c.Speedup = c.SequentialMS / c.SinglePassMS
+		}
+		fmt.Printf("multi-agg bound %g (%s): single-pass=%.1fms sequential×5=%.1fms speedup=%.1f×\n",
+			c.Bound, c.Strategy, c.SinglePassMS, c.SequentialMS, c.Speedup)
+		out = append(out, c)
+	}
+	return out
+}
+
 // runLoad executes the concurrent load benchmark.
 func runLoad(cfg loadConfig) error {
 	fmt.Printf("load mode: %d clients, %v, %d-point pool, %d regions, bounds %v, agg %v, batch %d, resident %v\n",
@@ -333,6 +422,10 @@ func runLoad(cfg loadConfig) error {
 	e.SetWorkers(cfg.workers)
 	if cfg.resident {
 		comparisons = compareResident(e, ds, pool, cfg)
+	}
+	var multiAggs []multiAggComparison
+	if cfg.multiagg {
+		multiAggs = compareMultiAgg(e, ds, pool, cfg)
 	}
 
 	type clientStats struct {
@@ -458,7 +551,7 @@ func runLoad(cfg loadConfig) error {
 		}
 	}
 	if cfg.jsonPath != "" {
-		if err := writeBenchJSON(cfg, len(all), elapsed, pct, all[len(all)-1], strategies, comparisons); err != nil {
+		if err := writeBenchJSON(cfg, len(all), elapsed, pct, all[len(all)-1], strategies, comparisons, multiAggs); err != nil {
 			return fmt.Errorf("writing %s: %w", cfg.jsonPath, err)
 		}
 		fmt.Printf("wrote %s\n", cfg.jsonPath)

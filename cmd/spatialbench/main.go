@@ -11,6 +11,7 @@
 //	spatialbench -concurrency 8 -batch 32           # batched serving mode
 //	spatialbench -concurrency 8 -resident           # resident-dataset mode
 //	spatialbench -concurrency 8 -ingest             # mixed append/query mode
+//	spatialbench -concurrency 8 -resident -multiagg # single-pass vs 5 sequential aggregates
 //	spatialbench -concurrency 8 -json BENCH_load.json
 //
 // Experiments: fig4a, fig4b, fig6, mem, fig7, ablapprox, ablcurve, all.
@@ -28,6 +29,12 @@
 // streaming and resident paths on a repetition-heavy workload. -json writes
 // the run's throughput and latency percentiles as a BENCH_*.json document
 // so the performance trajectory is machine-trackable.
+//
+// With -multiagg the run adds a per-bound head-to-head of the unified
+// request API's single-pass execution: one Engine.Do carrying all five
+// aggregates against five sequential single-aggregate calls (over the
+// resident dataset with -resident, the ad-hoc pool otherwise), reporting
+// the speedup and emitting it in the -json document.
 //
 // With -ingest half the pool is registered up front and a writer goroutine
 // streams the other half in (Dataset.Append, with periodic Delete batches)
@@ -64,6 +71,7 @@ func main() {
 		workers     = flag.Int("workers", 1, "load mode: intra-query worker count, or batch-pool size with -batch (0 = GOMAXPROCS)")
 		queryPoints = flag.Int("querypoints", 50_000, "load mode: points per query, sliced from the pool (0 = whole pool)")
 		resident    = flag.Bool("resident", false, "load mode: register the pool as a resident dataset and drive AggregateDataset")
+		multiagg    = flag.Bool("multiagg", false, "load mode: head-to-head of one Do carrying all five aggregates vs five sequential calls, per bound")
 		jsonPath    = flag.String("json", "", "load mode: write throughput/latency results to this path as BENCH_*.json output")
 
 		ingest           = flag.Bool("ingest", false, "load mode: mixed append/query workload — half the pool resident, half streamed in by a writer while readers query")
@@ -72,8 +80,8 @@ func main() {
 	)
 	flag.Parse()
 
-	if (*resident || *ingest || *jsonPath != "") && *concurrency <= 0 {
-		fmt.Fprintln(os.Stderr, "-resident, -ingest and -json require load mode (-concurrency N > 0)")
+	if (*resident || *ingest || *multiagg || *jsonPath != "") && *concurrency <= 0 {
+		fmt.Fprintln(os.Stderr, "-resident, -ingest, -multiagg and -json require load mode (-concurrency N > 0)")
 		os.Exit(2)
 	}
 	if *concurrency > 0 {
@@ -100,6 +108,7 @@ func main() {
 			workers:          *workers,
 			queryPoints:      *queryPoints,
 			resident:         *resident,
+			multiagg:         *multiagg,
 			jsonPath:         *jsonPath,
 			ingest:           *ingest,
 			ingestBatch:      *ingestBatch,

@@ -1,6 +1,7 @@
 package distbound
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -9,7 +10,6 @@ import (
 	"distbound/internal/join"
 	"distbound/internal/planner"
 	"distbound/internal/pointstore"
-	"distbound/internal/pool"
 )
 
 // Strategy identifies a physical plan for an aggregation query (§4).
@@ -50,6 +50,14 @@ const DefaultCoverCacheCapacity = 8
 // Raster Join, or — for datasets registered with RegisterPoints — the
 // resident learned-index probe — whichever is estimated cheapest for the
 // requested bound and expected repetitions.
+//
+// Do is the entry point: one Request names a target (an ad-hoc PointSet or
+// a registered *Dataset), a set of aggregates answered in a single pass,
+// the bound, and optional per-request overrides, under a context whose
+// cancellation unwinds the query promptly. DoBatch shards many requests
+// across a worker pool. The earlier per-shape methods (Aggregate,
+// AggregateDataset, AggregateBatch, Plan*, Explain*) remain as thin
+// deprecated wrappers over the same path.
 //
 // Engine is a serving layer: all methods are safe for concurrent use by any
 // number of goroutines. Lazily built artifacts (the R*-tree, one ACT trie
@@ -188,13 +196,16 @@ func (e *Engine) cachedBuilds(bound float64) map[Strategy]bool {
 // caller expects to aggregate over this region set (amortizing index
 // builds), minimum 1. MIN/MAX aggregations exclude the raster join, so the
 // returned plan is exactly what Aggregate will run — no silent fallback.
+//
+// Deprecated: use Do with Request.Explain (Response.Plan carries the same
+// decision); PlanFor cannot express aggregate sets or per-request overrides.
 func (e *Engine) PlanFor(numPoints int, agg Agg, bound float64, repetitions int) planner.Plan {
 	return e.costModel().Choose(planner.Query{
 		NumPoints:   numPoints,
 		Regions:     e.regions,
 		Bound:       bound,
 		Repetitions: repetitions,
-		ExtremeAgg:  agg == Min || agg == Max,
+		Aggs:        []Agg{agg},
 		CachedBuild: e.cachedBuilds(bound),
 		Stats:       &e.stats,
 	})
@@ -202,6 +213,9 @@ func (e *Engine) PlanFor(numPoints int, agg Agg, bound float64, repetitions int)
 
 // Plan is PlanFor for a COUNT-like aggregation (any of COUNT/SUM/AVG, which
 // every strategy supports).
+//
+// Deprecated: use Do with Request.Explain; Response.Plan carries the same
+// decision.
 func (e *Engine) Plan(numPoints int, bound float64, repetitions int) planner.Plan {
 	return e.PlanFor(numPoints, Count, bound, repetitions)
 }
@@ -449,33 +463,14 @@ func (e *Engine) checkDataset(ds *Dataset) error {
 // Like AggregateDataset, it rejects handles not registered with this
 // engine — planning a foreign handle against this engine's regions would
 // produce a plan no execution path honors.
+//
+// Deprecated: use Do with a Dataset-target Request and Request.Explain;
+// Response.Plan carries the same decision.
 func (e *Engine) PlanForDataset(ds *Dataset, agg Agg, bound float64, repetitions int) (planner.Plan, error) {
 	if err := e.checkDataset(ds); err != nil {
 		return planner.Plan{}, err
 	}
-	return e.planDataset(ds, agg, bound, repetitions), nil
-}
-
-// planDataset is PlanForDataset for handles already validated. The point
-// count and delta size come from one snapshot, so the plan reflects a
-// consistent instant of a dataset under concurrent mutation.
-func (e *Engine) planDataset(ds *Dataset, agg Agg, bound float64, repetitions int) planner.Plan {
-	cached := e.cachedBuilds(bound)
-	if e.pidx.ContainsReady(pidxKey{src: ds.src, bound: bound}) {
-		cached[StrategyPointIdx] = true
-	}
-	snap := ds.src.Snapshot()
-	return e.costModel().Choose(planner.Query{
-		NumPoints:      snap.LiveLen(),
-		Regions:        e.regions,
-		Bound:          bound,
-		Repetitions:    repetitions,
-		ExtremeAgg:     agg == Min || agg == Max,
-		ResidentPoints: true,
-		DeltaPoints:    snap.DeltaLen(),
-		CachedBuild:    cached,
-		Stats:          &e.stats,
-	})
+	return e.planRequest(Request{Dataset: ds, Aggs: []Agg{agg}, Bound: bound}, repetitions), nil
 }
 
 // AggregateDataset answers the aggregation query over a registered dataset
@@ -484,38 +479,37 @@ func (e *Engine) planDataset(ds *Dataset, agg Agg, bound float64, repetitions in
 // stream the dataset's points exactly as Aggregate would, so ad-hoc and
 // handle-bearing queries over the same points agree plan-for-plan. Safe for
 // concurrent use.
+//
+// Deprecated: use Do with a Dataset-target Request — it additionally
+// expresses cancellation, aggregate sets, and per-request overrides.
 func (e *Engine) AggregateDataset(ds *Dataset, agg Agg, bound float64, repetitions int) (Result, Strategy, error) {
+	// A nil handle must fail here: a Request with a nil Dataset legitimately
+	// means an ad-hoc (empty) Points query, which is not what this caller
+	// asked for.
 	if err := e.checkDataset(ds); err != nil {
 		return Result{}, StrategyExact, err
 	}
-	plan := e.planDataset(ds, agg, bound, repetitions)
-	res, err := e.runDataset(ds, agg, bound, plan.Strategy, e.Workers())
-	return res, plan.Strategy, err
-}
-
-// runDataset executes one dataset query on a fixed strategy. Streaming
-// strategies consume the dataset's materialized live points — the same
-// survivors the point-index strategy serves from base+delta — so all plans
-// agree on a mutated dataset, not just a freshly registered one.
-func (e *Engine) runDataset(ds *Dataset, agg Agg, bound float64, strategy Strategy, workers int) (Result, error) {
-	if strategy == StrategyPointIdx {
-		j, err := e.pointIdxJoiner(ds, bound, workers)
-		if err != nil {
-			return Result{}, err
-		}
-		return j.AggregateParallel(agg, workers)
+	resp, err := e.Do(context.Background(), Request{
+		Dataset:     ds,
+		Aggs:        []Agg{agg},
+		Bound:       bound,
+		Repetitions: repetitions,
+	})
+	if err != nil {
+		return Result{}, resp.Strategy, err
 	}
-	pts, ws := ds.src.Snapshot().Materialize()
-	return e.run(PointSet{Pts: pts, Weights: ws}, agg, bound, strategy, workers)
+	return resp.Results[0], resp.Strategy, nil
 }
 
-// pointIdxJoiner returns the cover/probe artifact for (dataset, bound),
+// pointIdxJoinerCtx returns the cover/probe artifact for (dataset, bound),
 // building it under the cache's singleflight on a miss. Like BRJ mask
 // builds, a cold cover rasterization fans out across the caller's worker
-// budget and never exceeds the parallelism the query itself was granted.
-func (e *Engine) pointIdxJoiner(ds *Dataset, bound float64, workers int) (*join.PointIdxJoiner, error) {
-	j, err := e.pidx.GetOrBuild(pidxKey{src: ds.src, bound: bound}, func() (*join.PointIdxJoiner, error) {
-		return join.NewPointIdxJoiner(e.regions, ds.src, bound, workers)
+// budget and never exceeds the parallelism the query itself was granted;
+// canceling ctx abandons the wait (and the build itself, once no caller
+// remains interested in it).
+func (e *Engine) pointIdxJoinerCtx(ctx context.Context, ds *Dataset, bound float64, workers int) (*join.PointIdxJoiner, error) {
+	j, err := e.pidx.GetOrBuildCtx(ctx, pidxKey{src: ds.src, bound: bound}, func(bctx context.Context) (*join.PointIdxJoiner, error) {
+		return join.NewPointIdxJoinerCtx(bctx, e.regions, ds.src, bound, workers)
 	})
 	if err != nil {
 		return nil, fmt.Errorf("distbound: building point-index covers: %w", err)
@@ -527,33 +521,20 @@ func (e *Engine) pointIdxJoiner(ds *Dataset, bound float64, workers int) (*join.
 // strategy, reporting which strategy ran. Exact strategies ignore the bound;
 // approximate ones guarantee every error is within bound of a region
 // boundary. Safe for concurrent use.
+//
+// Deprecated: use Do — it additionally expresses cancellation, aggregate
+// sets, and per-request overrides.
 func (e *Engine) Aggregate(ps PointSet, agg Agg, bound float64, repetitions int) (Result, Strategy, error) {
-	plan := e.PlanFor(len(ps.Pts), agg, bound, repetitions)
-	res, err := e.run(ps, agg, bound, plan.Strategy, e.Workers())
-	return res, plan.Strategy, err
-}
-
-// run executes one query on a fixed strategy with the given intra-query
-// worker count.
-func (e *Engine) run(ps PointSet, agg Agg, bound float64, strategy Strategy, workers int) (Result, error) {
-	switch strategy {
-	case StrategyExact:
-		return e.exactJoiner().AggregateParallel(ps, agg, workers)
-	case StrategyACT:
-		aj, err := e.actJoiner(bound)
-		if err != nil {
-			return Result{}, err
-		}
-		return aj.AggregateParallel(ps, agg, workers)
-	case StrategyBRJ:
-		bj, err := e.brjJoiner(bound, workers)
-		if err != nil {
-			return Result{}, err
-		}
-		return bj.AggregateParallel(ps, agg, workers)
-	default:
-		return Result{}, fmt.Errorf("distbound: unknown strategy %v", strategy)
+	resp, err := e.Do(context.Background(), Request{
+		Points:      ps,
+		Aggs:        []Agg{agg},
+		Bound:       bound,
+		Repetitions: repetitions,
+	})
+	if err != nil {
+		return Result{}, resp.Strategy, err
 	}
+	return resp.Results[0], resp.Strategy, nil
 }
 
 // exactJoiner returns the R*-tree joiner, building it exactly once.
@@ -564,11 +545,12 @@ func (e *Engine) exactJoiner() *join.RStarJoiner {
 	return e.exact.Load()
 }
 
-// actJoiner returns the ACT joiner for the bound, building it under the
-// cache's singleflight on a miss.
-func (e *Engine) actJoiner(bound float64) (*join.ACTJoiner, error) {
-	aj, err := e.act.GetOrBuild(bound, func() (*join.ACTJoiner, error) {
-		return join.NewACTJoiner(e.regions, e.domain, Hilbert, bound, 0)
+// actJoinerCtx returns the ACT joiner for the bound, building it under the
+// cache's singleflight on a miss; canceling ctx abandons the wait (and the
+// build itself, once no caller remains interested in it).
+func (e *Engine) actJoinerCtx(ctx context.Context, bound float64) (*join.ACTJoiner, error) {
+	aj, err := e.act.GetOrBuildCtx(ctx, bound, func(bctx context.Context) (*join.ACTJoiner, error) {
+		return join.NewACTJoinerCtx(bctx, e.regions, e.domain, Hilbert, bound, 0)
 	})
 	if err != nil {
 		return nil, fmt.Errorf("distbound: building ACT index: %w", err)
@@ -576,13 +558,14 @@ func (e *Engine) actJoiner(bound float64) (*join.ACTJoiner, error) {
 	return aj, nil
 }
 
-// brjJoiner returns the mask-cached raster joiner for the bound. A cold
-// build fans out across the caller's worker budget — the SetWorkers value
-// for Aggregate, 1 from the batch pool — so mask renders never exceed the
-// parallelism the query itself was granted.
-func (e *Engine) brjJoiner(bound float64, workers int) (*join.BRJJoiner, error) {
-	bj, err := e.brj.GetOrBuild(bound, func() (*join.BRJJoiner, error) {
-		return join.NewBRJJoiner(e.regions, e.domain.Bounds(), bound, 0, workers)
+// brjJoinerCtx returns the mask-cached raster joiner for the bound. A cold
+// build fans out across the caller's worker budget — the configured fan-out
+// for Do, 1 from the batch pool — so mask renders never exceed the
+// parallelism the query itself was granted; canceling ctx abandons the wait
+// (and the build itself, once no caller remains interested in it).
+func (e *Engine) brjJoinerCtx(ctx context.Context, bound float64, workers int) (*join.BRJJoiner, error) {
+	bj, err := e.brj.GetOrBuildCtx(ctx, bound, func(bctx context.Context) (*join.BRJJoiner, error) {
+		return join.NewBRJJoinerCtx(bctx, e.regions, e.domain.Bounds(), bound, 0, workers)
 	})
 	if err != nil {
 		return nil, fmt.Errorf("distbound: building BRJ canvases: %w", err)
@@ -591,6 +574,8 @@ func (e *Engine) brjJoiner(bound float64, workers int) (*join.BRJJoiner, error) 
 }
 
 // BatchQuery is one query of an AggregateBatch call.
+//
+// Deprecated: use Request with DoBatch.
 type BatchQuery struct {
 	// Points is the point relation of this query; ignored when Dataset is
 	// set.
@@ -611,6 +596,8 @@ type BatchQuery struct {
 }
 
 // BatchResult pairs one batch query's outcome with the strategy that ran.
+//
+// Deprecated: use Response, returned by DoBatch.
 type BatchResult struct {
 	Result   Result
 	Strategy Strategy
@@ -633,82 +620,27 @@ type BatchResult struct {
 // Each query's join runs single-threaded: the batch parallelizes across
 // queries, so the SetWorkers intra-query fan-out deliberately does not
 // apply here — combining both would oversubscribe the pool.
+//
+// Deprecated: use DoBatch — it additionally expresses cancellation,
+// aggregate sets, and per-request overrides.
 func (e *Engine) AggregateBatch(queries []BatchQuery, workers int) []BatchResult {
-	workers = pool.Workers(workers, len(queries))
-
-	// Multiplicity inside the batch: k queries that can share a strategy's
-	// build artifact mean a freshly built index is reused at least k times,
-	// which the planner folds into its repetition amortization. MIN/MAX
-	// queries are keyed separately — they can never run BRJ, so counting
-	// them toward a COUNT query's amortization could credit a mask build
-	// the extremes will never touch (they still share ACT builds at
-	// execution time via the cache; under-crediting that is conservative).
-	// Dataset queries are keyed separately as well: their learned-index
-	// artifact is per-(dataset, bound), so crediting it to ad-hoc queries
-	// (or vice versa) could promise sharing that never happens. The builds
-	// they can genuinely share (ACT at the same bound) still coalesce in
-	// the cache at execution time; under-crediting that is conservative.
-	type shareKey struct {
-		bound   float64
-		extreme bool
-		dataset string
-	}
-	sharing := map[shareKey]int{}
-	keyOf := func(q BatchQuery) shareKey {
-		k := shareKey{bound: q.Bound, extreme: q.Agg == Min || q.Agg == Max}
-		if q.Dataset != nil {
-			k.dataset = q.Dataset.name
-		}
-		return k
-	}
-	for _, q := range queries {
-		sharing[keyOf(q)]++
-	}
-
-	// Plan before executing anything: plans then reflect the batch-entry
-	// cache state instead of whatever builds happen to finish mid-batch,
-	// which would make strategy choice depend on worker interleaving.
-	// Invalid dataset handles fail here, per query, without planning.
-	strategies := make([]Strategy, len(queries))
-	planErrs := make([]error, len(queries))
+	reqs := make([]Request, len(queries))
 	for i, q := range queries {
-		reps := q.Repetitions
-		if reps < 1 {
-			reps = 1
-		}
-		reps += sharing[keyOf(q)] - 1
+		reqs[i] = Request{Aggs: []Agg{q.Agg}, Bound: q.Bound, Repetitions: q.Repetitions}
 		if q.Dataset != nil {
-			if err := e.checkDataset(q.Dataset); err != nil {
-				planErrs[i] = err
-				continue
-			}
-			strategies[i] = e.planDataset(q.Dataset, q.Agg, q.Bound, reps).Strategy
+			reqs[i].Dataset = q.Dataset // Points is documented as ignored here
 		} else {
-			strategies[i] = e.PlanFor(len(q.Points.Pts), q.Agg, q.Bound, reps).Strategy
+			reqs[i].Points = q.Points
 		}
 	}
-
-	// Per-query failures land in results[i].Err rather than aborting the
-	// pool, so one bad query never drops its siblings.
-	results := make([]BatchResult, len(queries))
-	pool.Run(len(queries), workers, func(_, i int) error {
-		q := queries[i]
-		if planErrs[i] != nil {
-			results[i] = BatchResult{Err: planErrs[i]}
-			return nil
+	resps, _ := e.DoBatch(context.Background(), reqs, workers)
+	results := make([]BatchResult, len(resps))
+	for i, r := range resps {
+		results[i] = BatchResult{Strategy: r.Strategy, Err: r.Err}
+		if len(r.Results) > 0 {
+			results[i].Result = r.Results[0]
 		}
-		var (
-			res Result
-			err error
-		)
-		if q.Dataset != nil {
-			res, err = e.runDataset(q.Dataset, q.Agg, q.Bound, strategies[i], 1)
-		} else {
-			res, err = e.run(q.Points, q.Agg, q.Bound, strategies[i], 1)
-		}
-		results[i] = BatchResult{Result: res, Strategy: strategies[i], Err: err}
-		return nil
-	})
+	}
 	return results
 }
 
@@ -724,11 +656,17 @@ func (e *Engine) CacheStats() (act, brj, cover cache.Stats) {
 
 // ExplainFor renders the cost comparison for a query, marking the chosen
 // plan.
+//
+// Deprecated: use Do with Request.Explain; Response.Explain carries the
+// same rendering.
 func (e *Engine) ExplainFor(numPoints int, agg Agg, bound float64, repetitions int) string {
 	return e.PlanFor(numPoints, agg, bound, repetitions).Explain()
 }
 
 // Explain is ExplainFor for a COUNT-like aggregation.
+//
+// Deprecated: use Do with Request.Explain; Response.Explain carries the
+// same rendering.
 func (e *Engine) Explain(numPoints int, bound float64, repetitions int) string {
 	return e.ExplainFor(numPoints, Count, bound, repetitions)
 }
@@ -737,6 +675,9 @@ func (e *Engine) Explain(numPoints int, bound float64, repetitions int) string {
 // dataset, marking the chosen plan; the comparison includes the resident
 // learned-index strategy. It errors on handles not registered with this
 // engine.
+//
+// Deprecated: use Do with a Dataset-target Request and Request.Explain;
+// Response.Explain carries the same rendering.
 func (e *Engine) ExplainDataset(ds *Dataset, agg Agg, bound float64, repetitions int) (string, error) {
 	plan, err := e.PlanForDataset(ds, agg, bound, repetitions)
 	if err != nil {

@@ -1,6 +1,7 @@
 package distbound
 
 import (
+	"context"
 	"testing"
 
 	"distbound/internal/data"
@@ -42,6 +43,43 @@ func TestExplainGolden(t *testing.T) {
   brj        build=43.3ms run=111.9ms total=1161.9ms`
 	if got != want {
 		t.Errorf("Explain drifted:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestResponseExplainGolden pins the Request/Response explain path: a
+// Request with Explain set renders exactly what the deprecated Explain
+// methods render for the same query, and a multi-aggregate set containing an
+// extreme drops the BRJ row from the comparison entirely.
+func TestResponseExplainGolden(t *testing.T) {
+	e, ds := explainFixture(t)
+	pts, ws := ds.Points()
+	ps := PointSet{Pts: pts, Weights: ws}
+
+	resp, err := e.Do(context.Background(), Request{
+		Points: ps, Aggs: []Agg{Count}, Bound: 16, Repetitions: 10, Explain: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := e.Explain(len(pts), 16, 10); resp.Explain != want {
+		t.Errorf("Response.Explain drifted from the legacy rendering:\n--- got ---\n%s\n--- want ---\n%s",
+			resp.Explain, want)
+	}
+
+	// A set containing MIN excludes BRJ for the whole request — the plan
+	// comparison must not even list it.
+	resp, err = e.Do(context.Background(), Request{
+		Dataset: ds, Aggs: []Agg{Count, Min}, Bound: 16, Repetitions: 10, Explain: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const wantExtremeSet = `* exact(R*)  build=0.0ms run=22.3ms total=223.3ms
+  pointidx   build=191.9ms run=6.4ms total=255.9ms
+  act        build=191.9ms run=20.0ms total=391.9ms`
+	if resp.Explain != wantExtremeSet {
+		t.Errorf("multi-agg Response.Explain drifted:\n--- got ---\n%s\n--- want ---\n%s",
+			resp.Explain, wantExtremeSet)
 	}
 }
 

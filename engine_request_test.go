@@ -1,0 +1,326 @@
+package distbound
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"distbound/internal/data"
+	"distbound/internal/testutil"
+)
+
+// requestFixture builds an engine over a partitioned city with a mutated
+// resident dataset: appends and deletes have left tombstones, live delta
+// rows and dead delta rows, so every serving structure participates.
+// Weights are reassociation-proof, so SUM/AVG comparisons below are bitwise.
+func requestFixture(t *testing.T) (*Engine, *Dataset, PointSet) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(91))
+	regions := dataRegions(92, 5, 5, 8)
+	pts, _ := data.TaxiPoints(93, 20_000)
+	weights := testutil.ExactWeights(rng, len(pts))
+	e := NewEngine(regions)
+	ds, err := e.RegisterPoints("req", pts[:16_000], weights[:16_000])
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds.SetCompactionThreshold(0)
+	ids, err := ds.Append(pts[16_000:], weights[16_000:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds.Delete(ids[:1000]...) // dead delta rows
+	ds.Delete(1, 3, 5, 7)    // base tombstones
+	return e, ds, PointSet{Pts: pts, Weights: weights}
+}
+
+// TestDoMultiAggBitIdenticalToLegacy pins the acceptance criterion: one Do
+// with all five aggregates returns, per aggregate, exactly what the legacy
+// single-aggregate path returns — for every strategy, on both targets,
+// pre- and post-compaction.
+func TestDoMultiAggBitIdenticalToLegacy(t *testing.T) {
+	e, ds, ps := requestFixture(t)
+	ctx := context.Background()
+	allAggs := []Agg{Count, Sum, Avg, Min, Max}
+
+	check := func(phase string) {
+		t.Helper()
+		for _, strat := range []Strategy{StrategyExact, StrategyACT, StrategyBRJ, StrategyPointIdx} {
+			strat := strat
+			aggs := allAggs
+			if strat == StrategyBRJ {
+				aggs = []Agg{Count, Sum, Avg}
+			}
+			targets := map[string]Request{
+				"dataset": {Dataset: ds, Aggs: aggs, Bound: 16, Strategy: &strat},
+			}
+			if strat != StrategyPointIdx {
+				targets["adhoc"] = Request{Points: ps, Aggs: aggs, Bound: 16, Strategy: &strat}
+			}
+			for name, req := range targets {
+				resp, err := e.Do(ctx, req)
+				if err != nil {
+					t.Fatalf("%s %s %v: %v", phase, name, strat, err)
+				}
+				if resp.Strategy != strat {
+					t.Fatalf("%s %s: override ignored, ran %v", phase, name, resp.Strategy)
+				}
+				if len(resp.Results) != len(aggs) {
+					t.Fatalf("%s %s %v: %d results for %d aggs", phase, name, strat, len(resp.Results), len(aggs))
+				}
+				for k, agg := range aggs {
+					single := req
+					single.Aggs = []Agg{agg}
+					sresp, err := e.Do(ctx, single)
+					if err != nil {
+						t.Fatal(err)
+					}
+					label := phase + " " + name + " " + strat.String() + " " + agg.String()
+					testutil.CheckIdentical(t, label, sresp.Results[0], resp.Results[k])
+					if resp.Results[k].Agg != agg {
+						t.Fatalf("%s: result %d carries %v", label, k, resp.Results[k].Agg)
+					}
+				}
+			}
+		}
+	}
+
+	check("pre-compaction")
+	ds.Compact()
+	check("post-compaction")
+}
+
+func TestDoRequestValidation(t *testing.T) {
+	e, ds, ps := requestFixture(t)
+	ctx := context.Background()
+	bad := StrategyBRJ
+	pidx := StrategyPointIdx
+	act := StrategyACT
+	unknown := Strategy(99)
+	cases := []struct {
+		name string
+		req  Request
+	}{
+		{"no aggregates", Request{Points: ps, Bound: 16}},
+		{"both targets", Request{Points: ps, Dataset: ds, Aggs: []Agg{Count}, Bound: 16}},
+		{"foreign dataset", Request{Dataset: &Dataset{name: "ghost", src: ds.src}, Aggs: []Agg{Count}, Bound: 16}},
+		{"brj with min", Request{Points: ps, Aggs: []Agg{Count, Min}, Bound: 16, Strategy: &bad}},
+		{"pointidx without dataset", Request{Points: ps, Aggs: []Agg{Count}, Bound: 16, Strategy: &pidx}},
+		{"act without bound", Request{Points: ps, Aggs: []Agg{Count}, Bound: 0, Strategy: &act}},
+		{"unknown strategy", Request{Points: ps, Aggs: []Agg{Count}, Bound: 16, Strategy: &unknown}},
+	}
+	for _, tc := range cases {
+		if _, err := e.Do(ctx, tc.req); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+
+	// Repetitions < 1 normalizes to 1: the plan must equal the reps=1 plan.
+	resp, err := e.Do(ctx, Request{Points: ps, Aggs: []Agg{Count}, Bound: 64, Repetitions: -3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := e.PlanFor(len(ps.Pts), Count, 64, 1); resp.Plan.Strategy != want.Strategy {
+		t.Errorf("negative repetitions planned %v, reps=1 plans %v", resp.Plan.Strategy, want.Strategy)
+	}
+}
+
+// TestDoResponseMetadata: Explain and Plan ride the response, and multi-agg
+// sets containing MIN/MAX exclude BRJ from the plan entirely.
+func TestDoResponseMetadata(t *testing.T) {
+	e, ds, _ := requestFixture(t)
+	resp, err := e.Do(context.Background(), Request{
+		Dataset: ds, Aggs: []Agg{Count, Sum, Min}, Bound: 16, Repetitions: 100, Explain: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Explain == "" {
+		t.Error("Explain requested but empty")
+	}
+	if _, ok := resp.Plan.Costs[StrategyBRJ]; ok {
+		t.Error("a set containing MIN still lists BRJ as an alternative")
+	}
+	if _, ok := resp.Plan.Costs[StrategyPointIdx]; !ok {
+		t.Error("dataset request does not consider pointidx")
+	}
+	if resp.Wall <= 0 {
+		t.Error("Wall timing missing")
+	}
+	// Cold acquisition above paid a build; a warm repeat acquires in ~0.
+	if resp.Strategy == StrategyPointIdx && resp.Build <= 0 {
+		t.Error("cold pointidx run reports no build time")
+	}
+}
+
+// waitNoExtraGoroutines asserts the goroutine count settles back to (near)
+// the baseline — canceled fan-outs and abandoned builds must unwind, not
+// leak.
+func waitNoExtraGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= base+3 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines leaked: %d > base %d\n%s",
+				runtime.NumGoroutine(), base, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestDoCancellation covers the cancellation contract under -race: a cold
+// build canceled before it completes, a warm fan-out canceled mid-query,
+// prompt ctx.Err() returns, no goroutine leak, and full correctness of
+// subsequent queries on the same engine.
+func TestDoCancellation(t *testing.T) {
+	base := runtime.NumGoroutine()
+	e, ds, ps := requestFixture(t)
+	act := StrategyACT
+	pidx := StrategyPointIdx
+
+	// Reference results from an engine that never sees a cancellation.
+	ref := NewEngine(dataRegions(92, 5, 5, 8))
+	wantResp, err := ref.Do(context.Background(), Request{Points: ps, Aggs: []Agg{Count}, Bound: 16, Strategy: &act})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cold build, pre-canceled context: the waiter withdraws immediately,
+	// the abandoned build aborts, and nothing is cached.
+	canceledCtx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.Do(canceledCtx, Request{Points: ps, Aggs: []Agg{Count}, Bound: 16, Strategy: &act}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cold canceled Do returned %v, want context.Canceled", err)
+	}
+	if _, err := e.Do(canceledCtx, Request{Dataset: ds, Aggs: []Agg{Count}, Bound: 16, Strategy: &pidx}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cold canceled dataset Do returned %v, want context.Canceled", err)
+	}
+
+	// Mid-build cancellation: cancel shortly after the build starts. Either
+	// the query finishes first (fast machine) or it must fail with ctx.Err().
+	midCtx, midCancel := context.WithCancel(context.Background())
+	go func() { time.Sleep(2 * time.Millisecond); midCancel() }()
+	if _, err := e.Do(midCtx, Request{Points: ps, Aggs: []Agg{Count}, Bound: 8, Strategy: &act}); err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-build cancel surfaced %v, want nil or context.Canceled", err)
+	}
+	midCancel()
+
+	// The engine is unharmed: cold-canceled bounds rebuild and answer
+	// exactly what the never-canceled engine answers; warm queries repeat it.
+	for i := 0; i < 2; i++ {
+		resp, err := e.Do(context.Background(), Request{Points: ps, Aggs: []Agg{Count}, Bound: 16, Strategy: &act})
+		if err != nil {
+			t.Fatalf("query %d after cancellations: %v", i, err)
+		}
+		testutil.CheckIdentical(t, "post-cancel act", wantResp.Results[0], resp.Results[0])
+	}
+	if _, err := e.Do(context.Background(), Request{Dataset: ds, Aggs: []Agg{Count, Sum}, Bound: 16, Strategy: &pidx}); err != nil {
+		t.Fatalf("dataset query after cancellations: %v", err)
+	}
+
+	// Warm fan-out, pre-canceled context: the artifact is resident, the
+	// fold itself must notice the cancellation.
+	if _, err := e.Do(canceledCtx, Request{Points: ps, Aggs: []Agg{Count}, Bound: 16, Strategy: &act}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("warm canceled Do returned %v, want context.Canceled", err)
+	}
+
+	waitNoExtraGoroutines(t, base)
+}
+
+// TestDoBatchCancellation: canceling a batch stops dispatching, marks every
+// unfinished request with ctx.Err(), returns ctx.Err(), and leaves the
+// engine fully serviceable.
+func TestDoBatchCancellation(t *testing.T) {
+	base := runtime.NumGoroutine()
+	e, ds, ps := requestFixture(t)
+	reqs := make([]Request, 16)
+	for i := range reqs {
+		if i%2 == 0 {
+			reqs[i] = Request{Points: ps, Aggs: []Agg{Count, Sum}, Bound: 16, Repetitions: 1000}
+		} else {
+			reqs[i] = Request{Dataset: ds, Aggs: []Agg{Count, Sum}, Bound: 16, Repetitions: 1000}
+		}
+	}
+
+	canceledCtx, cancel := context.WithCancel(context.Background())
+	cancel()
+	resps, err := e.DoBatch(canceledCtx, reqs, 4)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("DoBatch returned %v, want context.Canceled", err)
+	}
+	for i, r := range resps {
+		if r.Results == nil && !errors.Is(r.Err, context.Canceled) {
+			t.Fatalf("request %d neither ran nor carries ctx.Err(): %+v", i, r.Err)
+		}
+	}
+
+	// Mid-batch cancellation, then a clean batch: everything answers and all
+	// same-shape requests agree.
+	midCtx, midCancel := context.WithCancel(context.Background())
+	go func() { time.Sleep(time.Millisecond); midCancel() }()
+	if _, err := e.DoBatch(midCtx, reqs, 4); err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-batch cancel surfaced %v", err)
+	}
+	midCancel()
+
+	resps, err = e.DoBatch(context.Background(), reqs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range resps {
+		if r.Err != nil {
+			t.Fatalf("request %d failed after cancellations: %v", i, r.Err)
+		}
+		ref := resps[i%2]
+		testutil.CheckIdentical(t, "batch agreement", ref.Results[0], r.Results[0])
+		testutil.CheckIdentical(t, "batch agreement", ref.Results[1], r.Results[1])
+	}
+
+	waitNoExtraGoroutines(t, base)
+}
+
+// TestDoBatchMatchesLegacyAggregateBatch: the deprecated wrapper and DoBatch
+// agree request-for-request, including strategy choice under shared-bound
+// amortization.
+func TestDoBatchMatchesLegacyAggregateBatch(t *testing.T) {
+	e, ds, ps := requestFixture(t)
+	queries := []BatchQuery{
+		{Points: ps, Agg: Count, Bound: 16, Repetitions: 500},
+		{Dataset: ds, Agg: Sum, Bound: 16, Repetitions: 500},
+		{Points: ps, Agg: Min, Bound: 16, Repetitions: 500},
+		{Points: ps, Agg: Count, Bound: 0},
+	}
+	// Warm every artifact the batch can touch so both calls below plan
+	// against the same cache state — comparing a cold plan to a warm one
+	// would test cost-model drift, not wrapper fidelity.
+	e.AggregateBatch(queries, 2)
+	legacy := e.AggregateBatch(queries, 2)
+	reqs := make([]Request, len(queries))
+	for i, q := range queries {
+		reqs[i] = Request{Dataset: q.Dataset, Aggs: []Agg{q.Agg}, Bound: q.Bound, Repetitions: q.Repetitions}
+		if q.Dataset == nil {
+			reqs[i].Points = q.Points
+		}
+	}
+	resps, err := e.DoBatch(context.Background(), reqs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range queries {
+		if legacy[i].Err != nil || resps[i].Err != nil {
+			t.Fatalf("query %d: errs %v / %v", i, legacy[i].Err, resps[i].Err)
+		}
+		if legacy[i].Strategy != resps[i].Strategy {
+			t.Errorf("query %d: strategies %v / %v", i, legacy[i].Strategy, resps[i].Strategy)
+		}
+		testutil.CheckIdentical(t, "legacy vs DoBatch", legacy[i].Result, resps[i].Results[0])
+	}
+}

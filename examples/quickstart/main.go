@@ -1,9 +1,11 @@
 // Quickstart: index a set of regions with a distance bound, answer
-// point-in-region queries and an aggregation — all without a single exact
+// point-in-region queries, and run a multi-aggregate query through the
+// engine's unified Request/Response API — all without a single exact
 // geometric test at query time.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -31,13 +33,24 @@ func main() {
 	p := pts[0]
 	fmt.Printf("pickup at (%.0f, %.0f) is in district %d\n", p.X, p.Y, idx.Lookup(p))
 
-	// Aggregation join: average fare per district, approximate, no PIP.
-	res, err := idx.Aggregate(distbound.PointSet{Pts: pts, Weights: fares}, distbound.Avg)
+	// Aggregation through the serving engine: one Request carries a set of
+	// aggregates, and one plan, one index and one pass answer all of them.
+	// The context cancels the query if the caller goes away.
+	e := distbound.NewEngine(districts)
+	resp, err := e.Do(context.Background(), distbound.Request{
+		Points:      distbound.PointSet{Pts: pts, Weights: fares},
+		Aggs:        []distbound.Agg{distbound.Count, distbound.Avg, distbound.Max},
+		Bound:       10,   // same 10 m guarantee as the lookups above
+		Repetitions: 1000, // a dashboard refreshing over and over
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	counts, avgs, maxs := resp.Results[0], resp.Results[1], resp.Results[2]
+	fmt.Printf("engine answered COUNT+AVG+MAX in one %v pass (%v)\n", resp.Strategy, resp.Wall.Round(1e6))
 	for ri := 0; ri < 5; ri++ {
-		fmt.Printf("district %d: %6d pickups, avg fare %.2f\n", ri, res.Counts[ri], res.Value(ri))
+		fmt.Printf("district %d: %6d pickups, avg fare %.2f, top fare %.2f\n",
+			ri, counts.Counts[ri], avgs.Value(ri), maxs.Value(ri))
 	}
 	fmt.Println("(remaining districts omitted)")
 }

@@ -1,0 +1,17 @@
+package distbound
+
+import "context"
+
+// runDataset executes one dataset query on a fixed strategy — the hook the
+// differential and mutable-dataset tests use to pin every strategy against
+// every other on the same mutated dataset. It lives in a _test file because
+// production callers all route through Do/executeMulti; keeping it here
+// means there is exactly one execution path to diverge from (none).
+func (e *Engine) runDataset(ds *Dataset, agg Agg, bound float64, strategy Strategy, workers int) (Result, error) {
+	results, _, err := e.executeMulti(context.Background(),
+		Request{Dataset: ds, Aggs: []Agg{agg}, Bound: bound}, strategy, workers)
+	if err != nil {
+		return Result{}, err
+	}
+	return results[0], nil
+}

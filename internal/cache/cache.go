@@ -9,6 +9,7 @@
 package cache
 
 import (
+	"context"
 	"errors"
 	"sync"
 )
@@ -36,12 +37,22 @@ type Stats struct {
 
 // entry is one cache slot. ready is closed once val/err are final; waiters
 // block on it without holding the cache lock, so a slow build never stalls
-// lookups of other keys.
+// lookups of other keys. waiters counts the callers still interested in an
+// in-flight build; when the last of them cancels, cancelBuild (set only for
+// context-aware builds) cancels the build's own context so abandoned work
+// stops burning CPU.
 type entry[K comparable, V any] struct {
-	key        K
-	val        V
-	err        error
-	ready      chan struct{}
+	key         K
+	val         V
+	err         error
+	ready       chan struct{}
+	waiters     int
+	cancelBuild context.CancelFunc
+	// abandoned marks an in-flight build whose last waiter canceled: its
+	// context is canceled and it is doomed to fail, so later lookups must
+	// not coalesce onto it — they replace it with a fresh build instead of
+	// inheriting someone else's cancellation.
+	abandoned  bool
 	prev, next *entry[K, V] // LRU list, most recent at head
 }
 
@@ -80,25 +91,126 @@ func New[K comparable, V any](capacity int) *Cache[K, V] {
 // error and the next GetOrBuild retries.
 func (c *Cache[K, V]) GetOrBuild(key K, build func() (V, error)) (V, error) {
 	c.mu.Lock()
-	if e, ok := c.entries[key]; ok {
-		c.stats.Hits++
-		select {
-		case <-e.ready:
-		default:
-			c.stats.Coalesced++
-		}
-		c.moveToFront(e)
+	if e, ok := c.lookup(key); ok {
+		c.noteHit(e)
 		c.mu.Unlock()
 		<-e.ready
 		return e.val, e.err
 	}
+	e := c.insertMiss(key, nil)
+	c.mu.Unlock()
+	c.runBuild(e, build)
+	return e.val, e.err
+}
+
+// GetOrBuildCtx is GetOrBuild under a context. The wait — on a build this
+// call starts or on one already in flight — aborts with ctx.Err() when ctx
+// is canceled, without disturbing the build or its other waiters: builds run
+// on their own goroutine, so the cache and its singleflight state stay
+// consistent no matter when callers leave. Each in-flight build carries its
+// own context, passed to the build function and canceled only when the last
+// interested caller has gone — a build every caller abandoned stops burning
+// CPU (if it watches its context), fails with that context's error, and is
+// dropped so the next call retries; a build that still has waiters runs to
+// completion and is cached as usual. Callers arriving via GetOrBuild count
+// as permanently interested. A panicking build fails every waiter with an
+// error and is contained on the builder goroutine — it never crashes the
+// process.
+func (c *Cache[K, V]) GetOrBuildCtx(ctx context.Context, key K, build func(context.Context) (V, error)) (V, error) {
+	c.mu.Lock()
+	e, ok := c.lookup(key)
+	if ok {
+		c.noteHit(e)
+		c.mu.Unlock()
+	} else {
+		bctx, cancel := context.WithCancel(context.Background())
+		e = c.insertMiss(key, cancel)
+		c.mu.Unlock()
+		go func() {
+			defer cancel()
+			// Contain build panics: on this unsupervised goroutine a re-raised
+			// panic would kill the whole process, not one request. runBuild's
+			// own deferred cleanup has already released the build slot,
+			// dropped the entry and failed every waiter with errBuildPanicked
+			// by the time the panic reaches here, so swallowing it loses
+			// nothing — unlike GetOrBuild, where the builder IS the caller
+			// and the panic propagates to it as before.
+			defer func() { _ = recover() }()
+			c.runBuild(e, func() (V, error) { return build(bctx) })
+		}()
+	}
+	select {
+	case <-e.ready:
+		return e.val, e.err
+	case <-ctx.Done():
+	}
+	// Lost interest. If the result landed in the same instant, serve it;
+	// otherwise withdraw, and as the last waiter out, cancel the build.
+	c.mu.Lock()
+	select {
+	case <-e.ready:
+		c.mu.Unlock()
+		return e.val, e.err
+	default:
+	}
+	e.waiters--
+	if e.waiters == 0 && e.cancelBuild != nil {
+		e.cancelBuild()
+		e.abandoned = true
+	}
+	c.mu.Unlock()
+	var zero V
+	return zero, ctx.Err()
+}
+
+// lookup returns the live entry under key, dropping (and reporting missing)
+// an abandoned in-flight build so the caller starts a fresh one instead of
+// coalescing onto work that is doomed to fail with someone else's
+// cancellation. The abandoned builder's own cleanup no longer matches the
+// map slot and leaves the replacement alone. Called with mu held.
+func (c *Cache[K, V]) lookup(key K) (*entry[K, V], bool) {
+	e, ok := c.entries[key]
+	if ok && e.abandoned {
+		c.remove(e)
+		return nil, false
+	}
+	return e, ok
+}
+
+// noteHit records a lookup that found an entry: stats, recency, and — for an
+// entry whose build is still in flight — interest registration, so the build
+// is not canceled out from under this caller. Called with mu held.
+func (c *Cache[K, V]) noteHit(e *entry[K, V]) {
+	c.stats.Hits++
+	select {
+	case <-e.ready:
+	default:
+		c.stats.Coalesced++
+		e.waiters++
+	}
+	c.moveToFront(e)
+}
+
+// insertMiss records a lookup miss and installs the in-flight entry its
+// build will complete, with the caller registered as the first interested
+// waiter. Called with mu held.
+func (c *Cache[K, V]) insertMiss(key K, cancel context.CancelFunc) *entry[K, V] {
 	c.stats.Misses++
 	c.stats.Builds++
-	e := &entry[K, V]{key: key, ready: make(chan struct{})}
+	e := &entry[K, V]{key: key, ready: make(chan struct{}), waiters: 1, cancelBuild: cancel}
 	c.entries[key] = e
 	c.pushFront(e)
+	return e
+}
+
+// runBuild executes one entry's build — waiting for a build slot first — and
+// completes the entry: failed builds are dropped so a later call retries,
+// successful ones trigger the deferred-capacity eviction, and e.ready is
+// closed either way, releasing every waiter.
+func (c *Cache[K, V]) runBuild(e *entry[K, V], build func() (V, error)) {
 	// Wait for a build slot. Waiters coalescing onto this key block on
 	// e.ready without the lock, so queuing here stalls only other builders.
+	c.mu.Lock()
 	for c.building >= c.capacity {
 		c.buildSlot.Wait()
 	}
@@ -114,14 +226,14 @@ func (c *Cache[K, V]) GetOrBuild(key K, build func() (V, error)) (V, error) {
 		c.mu.Lock()
 		c.building--
 		c.buildSlot.Broadcast()
-		if !completed && c.entries[key] == e {
-			c.remove(e)
-		}
-		c.mu.Unlock()
 		if !completed {
+			if c.entries[e.key] == e {
+				c.remove(e)
+			}
 			e.err = errBuildPanicked
 			close(e.ready)
 		}
+		c.mu.Unlock()
 	}()
 
 	e.val, e.err = build()
@@ -130,18 +242,24 @@ func (c *Cache[K, V]) GetOrBuild(key K, build func() (V, error)) (V, error) {
 	if e.err != nil {
 		// Drop the failed entry so a later call can retry; only remove our
 		// own entry in case a concurrent retry already replaced it.
-		if c.entries[key] == e {
+		if c.entries[e.key] == e {
 			c.remove(e)
 		}
 	} else {
-		// Evict only now that the build has succeeded: evicting at insert
+		// Completion wins over a racing abandonment: a last waiter whose
+		// context fired in the instant between build() returning and this
+		// lock may have flagged the entry, but the value is final and
+		// servable, so it must not be evicted on the next lookup. Evict for
+		// capacity only now that the build has succeeded: evicting at insert
 		// time would let a build that ends up failing flush a warm resident
 		// entry and leave nothing in its place.
+		e.abandoned = false
 		c.evictOver()
 	}
-	c.mu.Unlock()
+	// Close under mu: the cancel path's readiness re-check also runs under
+	// mu, so a completed build can never be mistaken for one in flight.
 	close(e.ready)
-	return e.val, e.err
+	c.mu.Unlock()
 }
 
 // Peek returns the value cached under key without affecting recency. It

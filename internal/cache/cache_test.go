@@ -1,6 +1,7 @@
 package cache
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -260,5 +261,181 @@ func TestConcurrentMixedKeysUnderCapacityPressure(t *testing.T) {
 	wg.Wait()
 	if c.Len() > 3 {
 		t.Errorf("len %d exceeds capacity", c.Len())
+	}
+}
+
+func TestGetOrBuildCtxHitAndMiss(t *testing.T) {
+	c := New[string, int](2)
+	v, err := c.GetOrBuildCtx(context.Background(), "a", func(context.Context) (int, error) { return 7, nil })
+	if err != nil || v != 7 {
+		t.Fatalf("miss: got (%d, %v)", v, err)
+	}
+	v, err = c.GetOrBuildCtx(context.Background(), "a", func(context.Context) (int, error) {
+		t.Error("hit ran a build")
+		return 0, nil
+	})
+	if err != nil || v != 7 {
+		t.Fatalf("hit: got (%d, %v)", v, err)
+	}
+	if st := c.Stats(); st.Builds != 1 || st.Hits != 1 {
+		t.Errorf("stats %+v, want 1 build / 1 hit", st)
+	}
+}
+
+// TestGetOrBuildCtxCanceledWaiterDetaches pins the work-conserving half of
+// the contract: a caller that cancels while another caller still waits gets
+// ctx.Err() immediately, the build keeps running for the survivor, and the
+// artifact is cached.
+func TestGetOrBuildCtxCanceledWaiterDetaches(t *testing.T) {
+	c := New[string, int](2)
+	enter := make(chan struct{})
+	release := make(chan struct{})
+	var built atomic.Int32
+	build := func(context.Context) (int, error) {
+		close(enter)
+		<-release
+		built.Add(1)
+		return 42, nil
+	}
+
+	survivor := make(chan error, 1)
+	go func() {
+		_, err := c.GetOrBuildCtx(context.Background(), "k", build)
+		survivor <- err
+	}()
+	<-enter // the build is in flight
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.GetOrBuildCtx(ctx, "k", build); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled waiter got %v, want context.Canceled", err)
+	}
+
+	close(release)
+	if err := <-survivor; err != nil {
+		t.Fatalf("surviving waiter got %v", err)
+	}
+	if v, ok := c.Peek("k"); !ok || v != 42 {
+		t.Errorf("artifact not cached after a co-waiter canceled: (%d, %v)", v, ok)
+	}
+	if built.Load() != 1 {
+		t.Errorf("build ran %d times", built.Load())
+	}
+}
+
+// TestGetOrBuildCtxLastWaiterCancelsBuild pins the CPU-conserving half: when
+// the last interested caller cancels, the build's own context is canceled, a
+// ctx-aware build aborts, the failed entry is dropped, and a later call
+// retries from scratch.
+func TestGetOrBuildCtxLastWaiterCancelsBuild(t *testing.T) {
+	c := New[string, int](2)
+	enter := make(chan struct{})
+	aborted := make(chan struct{})
+	build := func(bctx context.Context) (int, error) {
+		close(enter)
+		<-bctx.Done() // a context-aware build notices abandonment
+		close(aborted)
+		return 0, bctx.Err()
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := c.GetOrBuildCtx(ctx, "k", build)
+		errc <- err
+	}()
+	<-enter
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("caller got %v, want context.Canceled", err)
+	}
+	<-aborted // the build's context really was canceled
+
+	// The aborted build must not be cached; a retry builds fresh.
+	v, err := c.GetOrBuildCtx(context.Background(), "k", func(context.Context) (int, error) { return 9, nil })
+	if err != nil || v != 9 {
+		t.Fatalf("retry after aborted build: (%d, %v)", v, err)
+	}
+}
+
+// TestGetOrBuildCtxMixedWithPlainGetOrBuild: a plain GetOrBuild caller
+// counts as permanently interested, so a ctx caller canceling must not
+// cancel the build out from under it.
+func TestGetOrBuildCtxMixedWithPlainGetOrBuild(t *testing.T) {
+	c := New[string, int](2)
+	enter := make(chan struct{})
+	release := make(chan struct{})
+	errc := make(chan error, 1)
+	go func() {
+		_, err := c.GetOrBuild("k", func() (int, error) {
+			close(enter)
+			<-release
+			return 5, nil
+		})
+		errc <- err
+	}()
+	<-enter
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.GetOrBuildCtx(ctx, "k", nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ctx waiter got %v", err)
+	}
+	close(release)
+	if err := <-errc; err != nil {
+		t.Fatalf("plain builder got %v", err)
+	}
+	if v, ok := c.Peek("k"); !ok || v != 5 {
+		t.Errorf("artifact lost: (%d, %v)", v, ok)
+	}
+}
+
+// TestAbandonedBuildIsReplacedNotJoined: a lookup landing on a build whose
+// last waiter canceled must start a fresh build rather than coalesce onto
+// work doomed to fail with someone else's cancellation.
+func TestAbandonedBuildIsReplacedNotJoined(t *testing.T) {
+	c := New[string, int](2)
+	enter := make(chan struct{})
+	stuck := make(chan struct{})
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := c.GetOrBuildCtx(ctx, "k", func(context.Context) (int, error) {
+			close(enter)
+			<-stuck // ignores its context: the abandoned build lingers
+			return 1, nil
+		})
+		errc <- err
+	}()
+	<-enter
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled caller got %v", err)
+	}
+	// The new caller gets its own build immediately, not the doomed one.
+	v, err := c.GetOrBuildCtx(context.Background(), "k", func(context.Context) (int, error) { return 2, nil })
+	if err != nil || v != 2 {
+		t.Fatalf("replacement build: (%d, %v), want (2, nil)", v, err)
+	}
+	close(stuck)
+	if v, ok := c.Peek("k"); !ok || v != 2 {
+		t.Errorf("cache serves (%d, %v), want the replacement's 2", v, ok)
+	}
+}
+
+// TestGetOrBuildCtxPanickingBuildContained: on the detached builder
+// goroutine a panic must fail the waiters and be swallowed — crashing the
+// process would turn one bad build into a full outage.
+func TestGetOrBuildCtxPanickingBuildContained(t *testing.T) {
+	c := New[string, int](2)
+	if _, err := c.GetOrBuildCtx(context.Background(), "k", func(context.Context) (int, error) {
+		panic("builder bug")
+	}); err == nil {
+		t.Fatal("panicking build returned a nil error")
+	}
+	// The key is not wedged and the process is alive: a fresh build works.
+	v, err := c.GetOrBuildCtx(context.Background(), "k", func(context.Context) (int, error) { return 3, nil })
+	if err != nil || v != 3 {
+		t.Fatalf("key wedged after contained panic: (%d, %v)", v, err)
 	}
 }

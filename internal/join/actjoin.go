@@ -1,6 +1,7 @@
 package join
 
 import (
+	"context"
 	"fmt"
 
 	"distbound/internal/act"
@@ -31,12 +32,23 @@ type ACTJoiner struct {
 // (region ID, boundary flag) so that result-range estimation can attribute
 // hits to boundary cells.
 func NewACTJoiner(regions []geom.Region, d sfc.Domain, curve sfc.Curve, eps float64, stride int) (*ACTJoiner, error) {
+	return NewACTJoinerCtx(context.Background(), regions, d, curve, eps, stride)
+}
+
+// NewACTJoinerCtx is NewACTJoiner under a context: canceling ctx abandons
+// the build between regions and returns ctx.Err(), so an index build nobody
+// waits for anymore stops burning CPU.
+func NewACTJoinerCtx(ctx context.Context, regions []geom.Region, d sfc.Domain, curve sfc.Curve, eps float64, stride int) (*ACTJoiner, error) {
 	trie, err := act.New(stride)
 	if err != nil {
 		return nil, err
 	}
+	done := ctx.Done()
 	j := &ACTJoiner{domain: d, curve: curve, bound: eps, numReg: len(regions)}
 	for ri, rg := range regions {
+		if canceled(done) {
+			return nil, ctx.Err()
+		}
 		a, err := raster.Hierarchical(rg, d, curve, eps, raster.Conservative)
 		if err != nil {
 			return nil, err

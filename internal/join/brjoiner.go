@@ -1,8 +1,8 @@
 package join
 
 import (
+	"context"
 	"fmt"
-	"math"
 
 	"distbound/internal/canvas"
 	"distbound/internal/geom"
@@ -51,6 +51,13 @@ type brjCachedMask struct {
 // fan-out so a cold build cannot saturate cores that concurrent queries
 // are using. maxTex ≤ 0 selects canvas.DefaultMaxTextureSize.
 func NewBRJJoiner(regions []geom.Region, bounds geom.Rect, bound float64, maxTex, workers int) (*BRJJoiner, error) {
+	return NewBRJJoinerCtx(context.Background(), regions, bounds, bound, maxTex, workers)
+}
+
+// NewBRJJoinerCtx is NewBRJJoiner under a context: canceling ctx abandons
+// the mask rendering between regions and returns ctx.Err(), so a build
+// nobody waits for anymore stops burning CPU.
+func NewBRJJoinerCtx(ctx context.Context, regions []geom.Region, bounds geom.Rect, bound float64, maxTex, workers int) (*BRJJoiner, error) {
 	if !(bound > 0) {
 		return nil, fmt.Errorf("join: BRJ needs a positive distance bound")
 	}
@@ -81,8 +88,8 @@ func NewBRJJoiner(regions []geom.Region, bounds geom.Rect, bound float64, maxTex
 	}
 
 	workers = pool.Workers(workers, len(j.tiles))
-	err := pool.Run(len(j.tiles), workers, func(_, ti int) error {
-		return j.buildTile(ti, regions, regionBounds)
+	err := pool.RunCtx(ctx, len(j.tiles), workers, func(_, ti int) error {
+		return j.buildTile(ctx, ti, regions, regionBounds)
 	})
 	if err != nil {
 		return nil, err
@@ -95,11 +102,15 @@ func NewBRJJoiner(regions []geom.Region, bounds geom.Rect, bound float64, maxTex
 
 // buildTile fixes one tile's window and renders its region masks. Tiles are
 // disjoint, so builders never share a tile.
-func (j *BRJJoiner) buildTile(ti int, regions []geom.Region, regionBounds []geom.Rect) error {
+func (j *BRJJoiner) buildTile(ctx context.Context, ti int, regions []geom.Region, regionBounds []geom.Rect) error {
+	done := ctx.Done()
 	tx, ty := ti%j.tilesX, ti/j.tilesX
 	t := &j.tiles[ti]
 	t.geom = tileGeomAt(j.grid, j.x0, j.y0, j.x1, j.y1, j.maxTex, tx, ty)
 	for ri := range regions {
+		if canceled(done) {
+			return ctx.Err()
+		}
 		mx0, my0, mx1, my1, ok := t.geom.maskWindow(j.grid, regionBounds[ri])
 		if !ok {
 			continue
@@ -151,76 +162,34 @@ func (j *BRJJoiner) Aggregate(ps PointSet, agg Agg) (Result, error) {
 // number of workers (≤ 0 selects GOMAXPROCS). Counts are identical to the
 // sequential form; float sums differ only by re-association.
 func (j *BRJJoiner) AggregateParallel(ps PointSet, agg Agg, workers int) (Result, error) {
-	if err := ps.validate(agg); err != nil {
-		return Result{}, err
-	}
-	if agg == Min || agg == Max {
-		return Result{}, fmt.Errorf("join: BRJ supports COUNT/SUM/AVG, not %v", agg)
-	}
-
-	// Bucket points into tiles; tiles without points (or masks) contribute
-	// nothing and are skipped.
-	buckets := bucketByTile(ps, j.grid, j.x0, j.y0, j.x1, j.y1, j.maxTex, j.tilesX, len(j.tiles))
-	jobs := make([]int, 0, len(j.tiles))
-	for ti := range j.tiles {
-		if len(buckets[ti]) > 0 && len(j.tiles[ti].masks) > 0 {
-			jobs = append(jobs, ti)
-		}
-	}
-	workers = pool.Workers(workers, len(jobs))
-
-	// Worker-local accumulators, merged in worker order after the pool
-	// drains so counts stay deterministic.
-	type partial struct{ counts, sums []float64 }
-	locals := make([]partial, workers)
-	for w := range locals {
-		locals[w] = partial{
-			counts: make([]float64, j.numReg),
-			sums:   make([]float64, j.numReg),
-		}
-	}
-	err := pool.Run(len(jobs), workers, func(w, k int) error {
-		ti := jobs[k]
-		return j.runTile(ps, agg, ti, buckets[ti], locals[w].counts, locals[w].sums)
-	})
+	rs, err := j.AggregateMulti(context.Background(), ps, []Agg{agg}, workers)
 	if err != nil {
 		return Result{}, err
 	}
-	counts := make([]float64, j.numReg)
-	sums := make([]float64, j.numReg)
-	for _, p := range locals {
-		for i := range counts {
-			counts[i] += p.counts[i]
-			sums[i] += p.sums[i]
-		}
-	}
-
-	res := newResult(agg, j.numReg)
-	for ri := 0; ri < j.numReg; ri++ {
-		res.Counts[ri] = int64(math.Round(counts[ri]))
-		if res.Sums != nil {
-			res.Sums[ri] = sums[ri]
-		}
-	}
-	return res, nil
+	return rs[0], nil
 }
 
-// runTile scatters one tile's points onto fresh point canvases and folds
-// the cached masks in via read-only dot products.
-func (j *BRJJoiner) runTile(ps PointSet, agg Agg, ti int, bucket []int32, counts, sums []float64) error {
+// runTile scatters one tile's points onto fresh point canvases (a count
+// canvas always, a weight canvas when some aggregate sums) and folds the
+// cached masks in via read-only dot products.
+func (j *BRJJoiner) runTile(ctx context.Context, ps PointSet, needSum bool, ti int, bucket []int32, counts, sums []float64) error {
+	done := ctx.Done()
 	t := &j.tiles[ti]
 	ptCount, err := canvas.NewCanvas(j.grid, t.geom.x0, t.geom.y0, t.geom.w, t.geom.h)
 	if err != nil {
 		return err
 	}
 	var ptSum *canvas.Canvas
-	if agg != Count {
+	if needSum {
 		ptSum, err = canvas.NewCanvas(j.grid, t.geom.x0, t.geom.y0, t.geom.w, t.geom.h)
 		if err != nil {
 			return err
 		}
 	}
-	for _, pi := range bucket {
+	for bi, pi := range bucket {
+		if bi&cancelCheckMask == 0 && canceled(done) {
+			return ctx.Err()
+		}
 		gx, gy := j.grid.PixelOf(ps.Pts[pi])
 		ptCount.Add(gx, gy, 1)
 		if ptSum != nil {
@@ -228,7 +197,10 @@ func (j *BRJJoiner) runTile(ps PointSet, agg Agg, ti int, bucket []int32, counts
 		}
 	}
 	for _, m := range t.masks {
-		if agg != Count {
+		if canceled(done) {
+			return ctx.Err()
+		}
+		if ptSum != nil {
 			s, err := canvas.DotSum(m.mask, ptSum)
 			if err != nil {
 				return err

@@ -1,0 +1,390 @@
+package join
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"distbound/internal/index/rstar"
+	"distbound/internal/pool"
+)
+
+// Multi-aggregate evaluation: the expensive part of every strategy — the trie
+// lookup, the R*-tree descent + PIP refinement, the canvas scatter, the
+// learned-index range probe — depends only on the point's location, never on
+// which aggregate is being computed. AggregateMulti therefore runs ONE pass
+// and folds every requested aggregate from it: prefix-sum aggregates share
+// the lookups, MIN/MAX share the block scans. Results are positionally
+// aligned with the aggregate set and bit-identical to running each aggregate
+// alone (COUNT/MIN/MAX exactly; SUM/AVG fold in the identical order, so even
+// float results match bit-for-bit).
+//
+// Every AggregateMulti takes a context: cancellation unwinds the worker
+// fan-out promptly (workers poll between regions / every cancelCheckMask+1
+// points) and the call returns ctx.Err() only after every worker has exited,
+// so no goroutine outlives the call and no partial result escapes.
+
+// cancelCheckMask throttles per-point context polls: workers check
+// ctx.Done() every 8192 points, cheap enough to vanish in the fold cost yet
+// frequent enough for sub-millisecond cancellation.
+const cancelCheckMask = 8191
+
+// ExtremeIn reports whether the aggregate set contains MIN or MAX — the
+// set-level form of the per-aggregate extreme test: one multi-fold pass can
+// use the raster join only if no aggregate in the set needs an extreme.
+func ExtremeIn(aggs []Agg) bool {
+	for _, a := range aggs {
+		if a == Min || a == Max {
+			return true
+		}
+	}
+	return false
+}
+
+// aggNeeds records which accumulator columns an aggregate set requires.
+type aggNeeds struct {
+	sum, min, max bool
+}
+
+func needsOf(aggs []Agg) aggNeeds {
+	var n aggNeeds
+	for _, a := range aggs {
+		switch a {
+		case Sum, Avg:
+			n.sum = true
+		case Min:
+			n.min = true
+		case Max:
+			n.max = true
+		}
+	}
+	return n
+}
+
+// acc is the shared-column accumulator of a multi-aggregate fold: counts are
+// always kept, the other columns only when some aggregate needs them. add
+// applies exactly the updates Result.add would, in the same order, which is
+// what makes the final per-aggregate copies bit-identical to per-aggregate
+// runs.
+type acc struct {
+	counts []int64
+	sums   []float64
+	mins   []float64
+	maxs   []float64
+}
+
+func newAcc(needs aggNeeds, n int) acc {
+	a := acc{counts: make([]int64, n)}
+	if needs.sum {
+		a.sums = make([]float64, n)
+	}
+	if needs.min {
+		a.mins = make([]float64, n)
+		for i := range a.mins {
+			a.mins[i] = math.Inf(1)
+		}
+	}
+	if needs.max {
+		a.maxs = make([]float64, n)
+		for i := range a.maxs {
+			a.maxs[i] = math.Inf(-1)
+		}
+	}
+	return a
+}
+
+// add records a matched point for a region across every tracked column.
+func (a *acc) add(region int, w float64) {
+	a.counts[region]++
+	if a.sums != nil {
+		a.sums[region] += w
+	}
+	if a.mins != nil && w < a.mins[region] {
+		a.mins[region] = w
+	}
+	if a.maxs != nil && w > a.maxs[region] {
+		a.maxs[region] = w
+	}
+}
+
+// merge folds shard-partial accumulators into a, in shard order — the same
+// association mergeResults used, so parallel sums stay reproducible for a
+// fixed shard count.
+func (a *acc) merge(parts []acc) {
+	for _, p := range parts {
+		for i := range p.counts {
+			a.counts[i] += p.counts[i]
+		}
+		if a.sums != nil {
+			for i := range p.sums {
+				a.sums[i] += p.sums[i]
+			}
+		}
+		if a.mins != nil {
+			for i := range p.mins {
+				if p.mins[i] < a.mins[i] {
+					a.mins[i] = p.mins[i]
+				}
+			}
+		}
+		if a.maxs != nil {
+			for i := range p.maxs {
+				if p.maxs[i] > a.maxs[i] {
+					a.maxs[i] = p.maxs[i]
+				}
+			}
+		}
+	}
+}
+
+// results copies the shared columns out into one independent Result per
+// aggregate, positionally aligned with aggs.
+func (a *acc) results(aggs []Agg) []Result {
+	out := make([]Result, len(aggs))
+	for k, agg := range aggs {
+		r := Result{Agg: agg, Counts: make([]int64, len(a.counts))}
+		copy(r.Counts, a.counts)
+		switch agg {
+		case Sum, Avg:
+			r.Sums = append([]float64(nil), a.sums...)
+		case Min:
+			r.Extremes = append([]float64(nil), a.mins...)
+		case Max:
+			r.Extremes = append([]float64(nil), a.maxs...)
+		}
+		out[k] = r
+	}
+	return out
+}
+
+// validateAggs checks the aggregate set against the point set's weight
+// column.
+func (ps PointSet) validateAggs(aggs []Agg) error {
+	if len(aggs) == 0 {
+		return fmt.Errorf("join: no aggregates requested")
+	}
+	for _, a := range aggs {
+		if err := ps.validate(a); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// canceled reports whether done (a ctx.Done() channel, possibly nil) has
+// fired.
+func canceled(done <-chan struct{}) bool {
+	if done == nil {
+		return false
+	}
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
+}
+
+// pointShardFold is the shared scaffold of the point-driven multi-aggregate
+// folds: shard the points contiguously across workers, give each worker a
+// private accumulator (perWorker returns the per-point body, so workers can
+// keep private scratch like the ACT lookup buffer), poll for cancellation
+// every cancelCheckMask+1 points, and merge in shard order — the fixed
+// association that keeps results reproducible for a given worker count.
+func pointShardFold(ctx context.Context, nPts, workers, numReg int, aggs []Agg,
+	perWorker func() func(i int, part *acc)) ([]Result, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	needs := needsOf(aggs)
+	done := ctx.Done()
+	shards := shardBounds(nPts, workers)
+	parts := make([]acc, len(shards))
+	var wg sync.WaitGroup
+	for si, sh := range shards {
+		wg.Add(1)
+		go func(si, lo, hi int) {
+			defer wg.Done()
+			part := newAcc(needs, numReg)
+			perPoint := perWorker()
+			for i := lo; i < hi; i++ {
+				if i&cancelCheckMask == 0 && canceled(done) {
+					return
+				}
+				perPoint(i, &part)
+			}
+			parts[si] = part
+		}(si, sh[0], sh[1])
+	}
+	wg.Wait()
+	if canceled(done) {
+		return nil, ctx.Err()
+	}
+	total := newAcc(needs, numReg)
+	total.merge(parts)
+	return total.results(aggs), nil
+}
+
+// AggregateMulti computes every aggregate in aggs in one sharded pass over
+// the points: one trie lookup per point, shared by all aggregates. Results
+// align with aggs and are bit-identical to per-aggregate AggregateParallel
+// runs. Cancellation returns ctx.Err() after every worker has unwound.
+func (j *ACTJoiner) AggregateMulti(ctx context.Context, ps PointSet, aggs []Agg, workers int) ([]Result, error) {
+	if err := ps.validateAggs(aggs); err != nil {
+		return nil, err
+	}
+	return pointShardFold(ctx, len(ps.Pts), workers, j.numReg, aggs, func() func(int, *acc) {
+		buf := make([]int32, 0, 4)
+		return func(i int, part *acc) {
+			pos, ok := j.domain.LeafPos(j.curve, ps.Pts[i])
+			if !ok {
+				return
+			}
+			w := ps.weight(i)
+			buf = j.trie.LookupAppend(pos, buf[:0])
+			for _, v := range buf {
+				region, _ := decodePayload(v)
+				part.add(region, w)
+			}
+		}
+	})
+}
+
+// AggregateMulti is the multi-aggregate form of the exact filter-and-refine
+// join: one R*-tree descent and one PIP refinement per point, shared by all
+// aggregates.
+func (j *RStarJoiner) AggregateMulti(ctx context.Context, ps PointSet, aggs []Agg, workers int) ([]Result, error) {
+	if err := ps.validateAggs(aggs); err != nil {
+		return nil, err
+	}
+	return pointShardFold(ctx, len(ps.Pts), workers, len(j.regions), aggs, func() func(int, *acc) {
+		return func(i int, part *acc) {
+			p := ps.Pts[i]
+			w := ps.weight(i)
+			j.tree.SearchPoint(p, func(it rstar.Item) bool {
+				if j.regions[it.ID].ContainsPoint(p) {
+					part.add(int(it.ID), w)
+				}
+				return true
+			})
+		}
+	})
+}
+
+// AggregateMulti is the multi-aggregate form of the cached-mask raster join:
+// one point scatter per tile feeds the count and (when needed) sum canvases,
+// and each region mask is dotted against both in one visit. MIN/MAX cannot
+// run on additive canvases and are rejected, exactly as in the single-
+// aggregate form.
+func (j *BRJJoiner) AggregateMulti(ctx context.Context, ps PointSet, aggs []Agg, workers int) ([]Result, error) {
+	if err := ps.validateAggs(aggs); err != nil {
+		return nil, err
+	}
+	for _, a := range aggs {
+		if a == Min || a == Max {
+			return nil, fmt.Errorf("join: BRJ supports COUNT/SUM/AVG, not %v", a)
+		}
+	}
+	needs := needsOf(aggs)
+
+	// Bucket points into tiles; tiles without points (or masks) contribute
+	// nothing and are skipped.
+	buckets := bucketByTile(ps, j.grid, j.x0, j.y0, j.x1, j.y1, j.maxTex, j.tilesX, len(j.tiles))
+	jobs := make([]int, 0, len(j.tiles))
+	for ti := range j.tiles {
+		if len(buckets[ti]) > 0 && len(j.tiles[ti].masks) > 0 {
+			jobs = append(jobs, ti)
+		}
+	}
+	workers = pool.Workers(workers, len(jobs))
+
+	// Worker-local accumulators, merged in worker order after the pool
+	// drains so counts stay deterministic.
+	type partial struct{ counts, sums []float64 }
+	locals := make([]partial, workers)
+	for w := range locals {
+		locals[w] = partial{counts: make([]float64, j.numReg)}
+		if needs.sum {
+			locals[w].sums = make([]float64, j.numReg)
+		}
+	}
+	err := pool.RunCtx(ctx, len(jobs), workers, func(w, k int) error {
+		ti := jobs[k]
+		return j.runTile(ctx, ps, needs.sum, ti, buckets[ti], locals[w].counts, locals[w].sums)
+	})
+	if err != nil {
+		return nil, err
+	}
+	counts := make([]float64, j.numReg)
+	sums := make([]float64, j.numReg)
+	for _, p := range locals {
+		for i := range counts {
+			counts[i] += p.counts[i]
+		}
+		if p.sums != nil {
+			for i := range sums {
+				sums[i] += p.sums[i]
+			}
+		}
+	}
+
+	out := make([]Result, len(aggs))
+	for k, agg := range aggs {
+		r := newResult(agg, j.numReg)
+		for ri := 0; ri < j.numReg; ri++ {
+			r.Counts[ri] = int64(math.Round(counts[ri]))
+			if r.Sums != nil {
+				r.Sums[ri] = sums[ri]
+			}
+		}
+		out[k] = r
+	}
+	return out, nil
+}
+
+// AggregateMulti computes every aggregate in aggs by probing the learned
+// index once per cover range: COUNT/SUM share the Span lookups and prefix
+// folds, MIN/MAX share the block scans, and the delta tail is walked once.
+// One snapshot is loaded up front, so every aggregate of one call answers
+// over the same instant of the dataset.
+func (j *PointIdxJoiner) AggregateMulti(ctx context.Context, aggs []Agg, workers int) ([]Result, error) {
+	if len(aggs) == 0 {
+		return nil, fmt.Errorf("join: no aggregates requested")
+	}
+	for _, a := range aggs {
+		if err := j.validate(a); err != nil {
+			return nil, err
+		}
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	needs := needsOf(aggs)
+	done := ctx.Done()
+	snap := j.src.Snapshot()
+	results := make([]Result, len(aggs))
+	for k, agg := range aggs {
+		results[k] = newResult(agg, len(j.covers))
+	}
+	shards := shardBounds(len(j.covers), workers)
+	var wg sync.WaitGroup
+	for _, sh := range shards {
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for ri := lo; ri < hi; ri++ {
+				if canceled(done) {
+					return
+				}
+				j.aggregateRegion(snap, results, needs, ri)
+			}
+		}(sh[0], sh[1])
+	}
+	wg.Wait()
+	if canceled(done) {
+		return nil, ctx.Err()
+	}
+	return results, nil
+}

@@ -1,0 +1,193 @@
+package join
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"distbound/internal/data"
+	"distbound/internal/geom"
+	"distbound/internal/pointstore"
+	"distbound/internal/sfc"
+)
+
+// bitIdentical fails unless got matches want bit-for-bit in every filled
+// column — the multi-agg contract is exact equality with per-agg runs, float
+// sums included, because both fold in the identical order.
+func bitIdentical(t *testing.T, label string, want, got Result) {
+	t.Helper()
+	if got.Agg != want.Agg || len(got.Counts) != len(want.Counts) {
+		t.Fatalf("%s: result shape differs", label)
+	}
+	same := func(a, b float64) bool {
+		return math.Float64bits(a) == math.Float64bits(b)
+	}
+	for ri := range want.Counts {
+		if got.Counts[ri] != want.Counts[ri] {
+			t.Fatalf("%s region %d: count %d != %d", label, ri, got.Counts[ri], want.Counts[ri])
+		}
+		if want.Sums != nil && !same(got.Sums[ri], want.Sums[ri]) {
+			t.Fatalf("%s region %d: sum %v != %v (bitwise)", label, ri, got.Sums[ri], want.Sums[ri])
+		}
+		if want.Extremes != nil && !same(got.Extremes[ri], want.Extremes[ri]) {
+			t.Fatalf("%s region %d: extreme %v != %v (bitwise)", label, ri, got.Extremes[ri], want.Extremes[ri])
+		}
+	}
+}
+
+// multiFixture is pointIdxFixture with reassociation-proof integer weights:
+// BRJ assigns tiles to workers dynamically, so float sums are reproducible
+// only up to re-association — with integer-valued weights every association
+// is exact and the bitwise comparison below holds for every joiner and
+// worker count.
+func multiFixture(t *testing.T, n int) (PointSet, []geom.Region, *pointstore.Mutable) {
+	t.Helper()
+	pts, _ := data.TaxiPoints(31, n)
+	weights := make([]float64, n)
+	for i := range weights {
+		weights[i] = float64(1 + i%97)
+	}
+	ps := PointSet{Pts: pts, Weights: weights}
+	regions := data.Regions(data.Partition(32, 4, 4, 6))
+	store, err := pointstore.NewMutable(pts, weights, data.CityDomain(), sfc.Hilbert{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ps, regions, store
+}
+
+// TestAggregateMultiBitIdenticalToSingle pins the tentpole guarantee at the
+// joiner level for every strategy: one multi-aggregate pass returns, per
+// aggregate, exactly what a dedicated single-aggregate run returns.
+func TestAggregateMultiBitIdenticalToSingle(t *testing.T) {
+	ps, regions, store := multiFixture(t, 20000)
+	d := data.CityDomain()
+	const bound = 16
+	allAggs := []Agg{Count, Sum, Avg, Min, Max}
+	ctx := context.Background()
+
+	act, err := NewACTJoiner(regions, d, sfc.Hilbert{}, bound, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := NewRStarJoiner(regions, 0)
+	brj, err := NewBRJJoiner(regions, data.CityDomain().Bounds(), bound, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pidx, err := NewPointIdxJoiner(regions, store, bound, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 4} {
+		run := map[string]func(aggs []Agg) ([]Result, error){
+			"act":   func(aggs []Agg) ([]Result, error) { return act.AggregateMulti(ctx, ps, aggs, workers) },
+			"exact": func(aggs []Agg) ([]Result, error) { return exact.AggregateMulti(ctx, ps, aggs, workers) },
+			"brj":   func(aggs []Agg) ([]Result, error) { return brj.AggregateMulti(ctx, ps, aggs, workers) },
+			"pointidx": func(aggs []Agg) ([]Result, error) {
+				return pidx.AggregateMulti(ctx, aggs, workers)
+			},
+		}
+		for name, do := range run {
+			aggs := allAggs
+			if name == "brj" {
+				aggs = []Agg{Count, Sum, Avg}
+			}
+			multi, err := do(aggs)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", name, workers, err)
+			}
+			if len(multi) != len(aggs) {
+				t.Fatalf("%s: %d results for %d aggs", name, len(multi), len(aggs))
+			}
+			for k, agg := range aggs {
+				if multi[k].Agg != agg {
+					t.Fatalf("%s: result %d carries %v, want %v", name, k, multi[k].Agg, agg)
+				}
+				single, err := do([]Agg{agg})
+				if err != nil {
+					t.Fatal(err)
+				}
+				bitIdentical(t, name+" "+agg.String(), single[0], multi[k])
+			}
+		}
+	}
+}
+
+func TestAggregateMultiRejectsBadSets(t *testing.T) {
+	ps, regions, store := pointIdxFixture(t, 500, true)
+	d := data.CityDomain()
+	ctx := context.Background()
+	act, err := NewACTJoiner(regions, d, sfc.Hilbert{}, 16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := act.AggregateMulti(ctx, ps, nil, 1); err == nil {
+		t.Error("empty aggregate set accepted")
+	}
+	if _, err := act.AggregateMulti(ctx, PointSet{Pts: ps.Pts}, []Agg{Count, Sum}, 1); err == nil {
+		t.Error("SUM without weights accepted")
+	}
+	brj, err := NewBRJJoiner(regions, d.Bounds(), 16, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := brj.AggregateMulti(ctx, ps, []Agg{Count, Min}, 1); err == nil {
+		t.Error("BRJ accepted a set containing MIN")
+	}
+	pidx, err := NewPointIdxJoiner(regions, store, 16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pidx.AggregateMulti(ctx, nil, 1); err == nil {
+		t.Error("pointidx accepted an empty aggregate set")
+	}
+}
+
+// TestAggregateMultiCancellation: a pre-canceled context must surface
+// ctx.Err() from every joiner's fan-out, after all workers unwound.
+func TestAggregateMultiCancellation(t *testing.T) {
+	ps, regions, store := pointIdxFixture(t, 20000, true)
+	d := data.CityDomain()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	act, err := NewACTJoiner(regions, d, sfc.Hilbert{}, 16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := act.AggregateMulti(ctx, ps, []Agg{Count}, 4); !errors.Is(err, context.Canceled) {
+		t.Errorf("act: %v, want context.Canceled", err)
+	}
+	exact := NewRStarJoiner(regions, 0)
+	if _, err := exact.AggregateMulti(ctx, ps, []Agg{Count}, 4); !errors.Is(err, context.Canceled) {
+		t.Errorf("exact: %v, want context.Canceled", err)
+	}
+	brj, err := NewBRJJoiner(regions, d.Bounds(), 16, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := brj.AggregateMulti(ctx, ps, []Agg{Count}, 4); !errors.Is(err, context.Canceled) {
+		t.Errorf("brj: %v, want context.Canceled", err)
+	}
+	pidx, err := NewPointIdxJoiner(regions, store, 16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pidx.AggregateMulti(ctx, []Agg{Count}, 4); !errors.Is(err, context.Canceled) {
+		t.Errorf("pointidx: %v, want context.Canceled", err)
+	}
+
+	// Canceled builds abort too.
+	if _, err := NewACTJoinerCtx(ctx, regions, d, sfc.Hilbert{}, 16, 0); !errors.Is(err, context.Canceled) {
+		t.Errorf("NewACTJoinerCtx: %v, want context.Canceled", err)
+	}
+	if _, err := NewBRJJoinerCtx(ctx, regions, d.Bounds(), 16, 0, 0); !errors.Is(err, context.Canceled) {
+		t.Errorf("NewBRJJoinerCtx: %v, want context.Canceled", err)
+	}
+	if _, err := NewPointIdxJoinerCtx(ctx, regions, store, 16, 0); !errors.Is(err, context.Canceled) {
+		t.Errorf("NewPointIdxJoinerCtx: %v, want context.Canceled", err)
+	}
+}

@@ -1,11 +1,6 @@
 package join
 
-import (
-	"runtime"
-	"sync"
-
-	"distbound/internal/index/rstar"
-)
+import "context"
 
 // Parallel evaluation (§2.3 "Execution"): because every point lookup — and
 // every canvas pixel — is independent, and COUNT/SUM/AVG are distributive or
@@ -13,31 +8,11 @@ import (
 // aggregates that merge exactly. The parallel forms return bit-identical
 // counts and float-sum results that differ from the sequential ones only by
 // re-association of additions.
-
-// mergeResults folds partial results into dst.
-func mergeResults(dst *Result, parts []Result) {
-	for _, p := range parts {
-		for i := range p.Counts {
-			dst.Counts[i] += p.Counts[i]
-		}
-		if dst.Sums != nil {
-			for i := range p.Sums {
-				dst.Sums[i] += p.Sums[i]
-			}
-		}
-		if dst.Extremes != nil {
-			for i := range p.Extremes {
-				if dst.Agg == Min {
-					if p.Extremes[i] < dst.Extremes[i] {
-						dst.Extremes[i] = p.Extremes[i]
-					}
-				} else if p.Extremes[i] > dst.Extremes[i] {
-					dst.Extremes[i] = p.Extremes[i]
-				}
-			}
-		}
-	}
-}
+//
+// Both single-aggregate forms below are one-element delegations to the
+// multi-aggregate fold in multi.go — one code path serves both, which is
+// what makes "multi-agg results are bit-identical to per-agg runs" true by
+// construction rather than by parallel maintenance.
 
 // shardBounds splits n items into k contiguous shards.
 func shardBounds(n, k int) [][2]int {
@@ -61,73 +36,18 @@ func shardBounds(n, k int) [][2]int {
 // AggregateParallel is Aggregate across the given number of workers
 // (≤ 0 selects GOMAXPROCS). Counts are identical to the sequential result.
 func (j *ACTJoiner) AggregateParallel(ps PointSet, agg Agg, workers int) (Result, error) {
-	if err := ps.validate(agg); err != nil {
+	rs, err := j.AggregateMulti(context.Background(), ps, []Agg{agg}, workers)
+	if err != nil {
 		return Result{}, err
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	shards := shardBounds(len(ps.Pts), workers)
-	parts := make([]Result, len(shards))
-	var wg sync.WaitGroup
-	for si, sh := range shards {
-		wg.Add(1)
-		go func(si int, lo, hi int) {
-			defer wg.Done()
-			part := newResult(agg, j.numReg)
-			buf := make([]int32, 0, 4)
-			for i := lo; i < hi; i++ {
-				pos, ok := j.domain.LeafPos(j.curve, ps.Pts[i])
-				if !ok {
-					continue
-				}
-				w := ps.weight(i)
-				buf = j.trie.LookupAppend(pos, buf[:0])
-				for _, v := range buf {
-					region, _ := decodePayload(v)
-					part.add(region, w)
-				}
-			}
-			parts[si] = part
-		}(si, sh[0], sh[1])
-	}
-	wg.Wait()
-	res := newResult(agg, j.numReg)
-	mergeResults(&res, parts)
-	return res, nil
+	return rs[0], nil
 }
 
 // AggregateParallel is the sharded form of the exact R*-tree join.
 func (j *RStarJoiner) AggregateParallel(ps PointSet, agg Agg, workers int) (Result, error) {
-	if err := ps.validate(agg); err != nil {
+	rs, err := j.AggregateMulti(context.Background(), ps, []Agg{agg}, workers)
+	if err != nil {
 		return Result{}, err
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	shards := shardBounds(len(ps.Pts), workers)
-	parts := make([]Result, len(shards))
-	var wg sync.WaitGroup
-	for si, sh := range shards {
-		wg.Add(1)
-		go func(si, lo, hi int) {
-			defer wg.Done()
-			part := newResult(agg, len(j.regions))
-			for i := lo; i < hi; i++ {
-				p := ps.Pts[i]
-				w := ps.weight(i)
-				j.tree.SearchPoint(p, func(it rstar.Item) bool {
-					if j.regions[it.ID].ContainsPoint(p) {
-						part.add(int(it.ID), w)
-					}
-					return true
-				})
-			}
-			parts[si] = part
-		}(si, sh[0], sh[1])
-	}
-	wg.Wait()
-	res := newResult(agg, len(j.regions))
-	mergeResults(&res, parts)
-	return res, nil
+	return rs[0], nil
 }

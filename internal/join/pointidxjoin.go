@@ -1,11 +1,10 @@
 package join
 
 import (
+	"context"
 	"fmt"
 	"math"
-	"runtime"
 	"sort"
-	"sync"
 
 	"distbound/internal/geom"
 	"distbound/internal/pointstore"
@@ -49,6 +48,13 @@ type PointIdxJoiner struct {
 // safe for concurrent use; it reads a fresh snapshot of the dataset on every
 // Aggregate call.
 func NewPointIdxJoiner(regions []geom.Region, src *pointstore.Mutable, eps float64, workers int) (*PointIdxJoiner, error) {
+	return NewPointIdxJoinerCtx(context.Background(), regions, src, eps, workers)
+}
+
+// NewPointIdxJoinerCtx is NewPointIdxJoiner under a context: canceling ctx
+// abandons the per-region cover rasterization between regions and returns
+// ctx.Err(), so a build nobody waits for anymore stops burning CPU.
+func NewPointIdxJoinerCtx(ctx context.Context, regions []geom.Region, src *pointstore.Mutable, eps float64, workers int) (*PointIdxJoiner, error) {
 	if !(eps > 0) {
 		return nil, fmt.Errorf("join: point-index join requires a positive bound, got %v", eps)
 	}
@@ -58,7 +64,7 @@ func NewPointIdxJoiner(regions []geom.Region, src *pointstore.Mutable, eps float
 		bound:  eps,
 	}
 	d, c := src.Domain(), src.Curve()
-	err := pool.Run(len(regions), pool.Workers(workers, len(regions)), func(_, ri int) error {
+	err := pool.RunCtx(ctx, len(regions), pool.Workers(workers, len(regions)), func(_, ri int) error {
 		a, err := raster.Hierarchical(regions[ri], d, c, eps, raster.Conservative)
 		if err != nil {
 			return err
@@ -106,39 +112,22 @@ func (j *PointIdxJoiner) Aggregate(agg Agg) (Result, error) {
 // wholly by one worker, so results — including float sums — are identical
 // for any worker count.
 func (j *PointIdxJoiner) AggregateParallel(agg Agg, workers int) (Result, error) {
-	if err := j.validate(agg); err != nil {
+	rs, err := j.AggregateMulti(context.Background(), []Agg{agg}, workers)
+	if err != nil {
 		return Result{}, err
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	snap := j.src.Snapshot()
-	res := newResult(agg, len(j.covers))
-	shards := shardBounds(len(j.covers), workers)
-	var wg sync.WaitGroup
-	for _, sh := range shards {
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for ri := lo; ri < hi; ri++ {
-				j.aggregateRegion(snap, &res, ri, agg)
-			}
-		}(sh[0], sh[1])
-	}
-	wg.Wait()
-	return res, nil
+	return rs[0], nil
 }
 
 // aggregateRegion folds the snapshot's base range aggregates over one
 // region's cover ranges and brute-scans the delta tail against them, writing
-// only that region's slots of res.
-func (j *PointIdxJoiner) aggregateRegion(snap *pointstore.Snapshot, res *Result, ri int, agg Agg) {
+// only that region's slots of every result. Each Span is located once and
+// every needed aggregate folds from it — the shared-lookup economy of the
+// multi-aggregate path.
+func (j *PointIdxJoiner) aggregateRegion(snap *pointstore.Snapshot, results []Result, needs aggNeeds, ri int) {
 	var cnt int64
 	var sum float64
-	ext := math.Inf(1)
-	if agg == Max {
-		ext = math.Inf(-1)
-	}
+	mn, mx := math.Inf(1), math.Inf(-1)
 	ranges := j.covers[ri]
 	for _, r := range ranges {
 		lo, hi := snap.Span(r.Lo, r.Hi)
@@ -146,13 +135,14 @@ func (j *PointIdxJoiner) aggregateRegion(snap *pointstore.Snapshot, res *Result,
 			continue
 		}
 		cnt += int64(snap.CountSpan(lo, hi))
-		switch agg {
-		case Sum, Avg:
+		if needs.sum {
 			sum += snap.SumSpan(lo, hi)
-		case Min:
-			ext = math.Min(ext, snap.MinSpan(lo, hi))
-		case Max:
-			ext = math.Max(ext, snap.MaxSpan(lo, hi))
+		}
+		if needs.min {
+			mn = math.Min(mn, snap.MinSpan(lo, hi))
+		}
+		if needs.max {
+			mx = math.Max(mx, snap.MaxSpan(lo, hi))
 		}
 	}
 	// Delta scan: every live delta row whose key falls in one of the
@@ -162,21 +152,31 @@ func (j *PointIdxJoiner) aggregateRegion(snap *pointstore.Snapshot, res *Result,
 			continue
 		}
 		cnt++
-		switch agg {
-		case Sum, Avg:
-			sum += snap.DeltaWeight(k)
-		case Min:
-			ext = math.Min(ext, snap.DeltaWeight(k))
-		case Max:
-			ext = math.Max(ext, snap.DeltaWeight(k))
+		if needs.sum || needs.min || needs.max {
+			w := snap.DeltaWeight(k)
+			if needs.sum {
+				sum += w
+			}
+			if needs.min {
+				mn = math.Min(mn, w)
+			}
+			if needs.max {
+				mx = math.Max(mx, w)
+			}
 		}
 	}
-	res.Counts[ri] = cnt
-	if res.Sums != nil {
-		res.Sums[ri] = sum
-	}
-	if res.Extremes != nil {
-		res.Extremes[ri] = ext
+	for k := range results {
+		results[k].Counts[ri] = cnt
+		if results[k].Sums != nil {
+			results[k].Sums[ri] = sum
+		}
+		if results[k].Extremes != nil {
+			if results[k].Agg == Min {
+				results[k].Extremes[ri] = mn
+			} else {
+				results[k].Extremes[ri] = mx
+			}
+		}
 	}
 }
 

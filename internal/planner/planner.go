@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"distbound/internal/geom"
+	"distbound/internal/join"
 )
 
 // Strategy identifies a physical plan for the aggregation query.
@@ -67,6 +68,16 @@ type Query struct {
 	Repetitions int
 	// MaxTextureSize caps BRJ pass size; ≤ 0 selects the default (4096).
 	MaxTextureSize int
+	// Aggs is the aggregate set of the query. One request computes every
+	// aggregate in it with a single multi-fold pass over a single build, so
+	// the planner costs the whole set as ONE run — the expensive per-item
+	// work (lookups, range probes, scatters) is shared and the extra
+	// per-aggregate fold arithmetic is noise against it. The one set-level
+	// decision the planner must make is exclusion: the Bounded Raster Join
+	// is unavailable iff ANY aggregate in the set is MIN or MAX. Empty means
+	// a single COUNT-like aggregate; ExtremeAgg is OR-ed in for callers
+	// still planning per aggregate.
+	Aggs []join.Agg
 	// ExtremeAgg marks a MIN/MAX aggregation. The Bounded Raster Join's
 	// additive canvases carry counts and sums only, so Choose excludes
 	// StrategyBRJ — the plan then reflects the fallback instead of the
@@ -286,11 +297,14 @@ type Plan struct {
 	DeltaFraction float64
 }
 
-// Choose picks the cheapest strategy for q under the model. A bound that is
-// not strictly positive (including NaN) forces the exact plan; MIN/MAX
-// aggregations exclude the raster join, which cannot answer them; the
-// learned-index probe strategy is considered only for resident datasets.
+// Choose picks the cheapest strategy for q under the model — once per
+// aggregate set: every aggregate in q.Aggs rides the same plan, build and
+// fold pass. A bound that is not strictly positive (including NaN) forces
+// the exact plan; a set containing MIN or MAX excludes the raster join,
+// which cannot answer extremes; the learned-index probe strategy is
+// considered only for resident datasets.
 func (m CostModel) Choose(q Query) Plan {
+	q.ExtremeAgg = q.ExtremeAgg || join.ExtremeIn(q.Aggs)
 	p := Plan{Costs: map[Strategy]Cost{}}
 	if q.ResidentPoints && q.NumPoints > 0 && q.DeltaPoints > 0 {
 		// DeltaPoints counts scanned delta rows, dead ones included, so it

@@ -8,6 +8,7 @@
 package pool
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -35,8 +36,27 @@ func Workers(requested, jobs int) int {
 // reports that error. workers ≤ 1 runs inline in job order, stopping at
 // the first error.
 func Run(n, workers int, fn func(worker, job int) error) error {
+	return RunCtx(context.Background(), n, workers, fn)
+}
+
+// RunCtx is Run under a context: once ctx is canceled no further job starts,
+// in-flight jobs finish (long jobs that want mid-job cancellation watch ctx
+// themselves), and RunCtx returns ctx.Err(). An error fn returned before the
+// cancellation wins over it, preserving Run's first-error-wins contract.
+// RunCtx never returns before every started job has finished, so callers'
+// worker-local state is safe to read — and no worker goroutine outlives the
+// call.
+func RunCtx(ctx context.Context, n, workers int, fn func(worker, job int) error) error {
+	done := ctx.Done()
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if done != nil {
+				select {
+				case <-done:
+					return ctx.Err()
+				default:
+				}
+			}
 			if err := fn(0, i); err != nil {
 				return err
 			}
@@ -48,6 +68,13 @@ func Run(n, workers int, fn func(worker, job int) error) error {
 		mu    sync.Mutex
 		first error
 	)
+	fail := func(err error) {
+		mu.Lock()
+		if first == nil {
+			first = err
+		}
+		mu.Unlock()
+	}
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -61,19 +88,42 @@ func Run(n, workers int, fn func(worker, job int) error) error {
 					continue
 				}
 				if err := fn(w, i); err != nil {
-					mu.Lock()
-					if first == nil {
-						first = err
-					}
-					mu.Unlock()
+					fail(err)
 				}
 			}
 		}(w)
 	}
+feed:
 	for i := 0; i < n; i++ {
-		next <- i
+		if done == nil {
+			next <- i
+			continue
+		}
+		// Check done non-blockingly first: with a worker parked on <-next
+		// AND done already closed, the two-way select below picks uniformly
+		// at random and could dispatch a job under a dead context.
+		select {
+		case <-done:
+			break feed
+		default:
+		}
+		select {
+		case next <- i:
+		case <-done:
+			break feed
+		}
 	}
 	close(next)
 	wg.Wait()
-	return first
+	if first != nil {
+		return first
+	}
+	if done != nil {
+		select {
+		case <-done:
+			return ctx.Err()
+		default:
+		}
+	}
+	return nil
 }

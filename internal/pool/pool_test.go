@@ -1,6 +1,7 @@
 package pool
 
 import (
+	"context"
 	"errors"
 	"sync/atomic"
 	"testing"
@@ -79,5 +80,69 @@ func TestWorkers(t *testing.T) {
 	}
 	if Workers(-1, 1000) < 1 {
 		t.Error("GOMAXPROCS default broken")
+	}
+}
+
+func TestRunCtxCanceledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int32
+		err := RunCtx(ctx, 100, workers, func(_, _ int) error {
+			ran.Add(1)
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if ran.Load() != 0 {
+			t.Errorf("workers=%d: %d jobs ran under a pre-canceled context", workers, ran.Load())
+		}
+	}
+}
+
+func TestRunCtxCancelMidway(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	err := RunCtx(ctx, 1000, 4, func(_, job int) error {
+		if ran.Add(1) == 10 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The feeder stops on cancel; only jobs already dispatched may finish.
+	if n := ran.Load(); n >= 1000 {
+		t.Errorf("all %d jobs ran despite mid-run cancellation", n)
+	}
+}
+
+func TestRunCtxFnErrorWinsOverCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	boom := errors.New("boom")
+	err := RunCtx(ctx, 100, 4, func(_, job int) error {
+		if job == 0 {
+			cancel()
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the fn error to win", err)
+	}
+}
+
+func TestRunCtxNoCancelBehavesLikeRun(t *testing.T) {
+	var ran atomic.Int32
+	if err := RunCtx(context.Background(), 50, 3, func(_, _ int) error {
+		ran.Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 50 {
+		t.Errorf("ran %d of 50 jobs", ran.Load())
 	}
 }

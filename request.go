@@ -1,0 +1,370 @@
+package distbound
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"distbound/internal/join"
+	"distbound/internal/planner"
+	"distbound/internal/pool"
+)
+
+// Plan is the planner's decision with its considered alternatives.
+type Plan = planner.Plan
+
+// Request describes one aggregation query for Engine.Do: one target, one
+// distance bound, and a *set* of aggregates answered together — one plan,
+// one index build, one snapshot and one fold pass serve every aggregate in
+// the set, instead of one independent cover walk per aggregate.
+type Request struct {
+	// Points is the ad-hoc point relation of the query. Exactly one target —
+	// Points or Dataset — may be set.
+	Points PointSet
+	// Dataset, when non-nil, targets a registered resident dataset instead
+	// of an ad-hoc point set; the planner may then answer through the
+	// learned-index strategy without streaming any points. The handle must
+	// belong to this engine.
+	Dataset *Dataset
+	// Aggs is the aggregate set. At least one aggregate is required;
+	// Response.Results aligns with it positionally. Every aggregate is
+	// computed in one pass: on a given strategy, results are bit-identical
+	// to issuing one request per aggregate (COUNT/MIN/MAX exactly; SUM/AVG
+	// fold in the identical order, so even float results match bit-for-bit),
+	// only cheaper. Note that splitting a set can change what the planner
+	// picks — a lone SUM may plan BRJ where a MIN-carrying set cannot — and
+	// different (equally bound-respecting) strategies associate float sums
+	// differently; pin Strategy to compare across request shapes.
+	Aggs []Agg
+	// Bound is the distance bound ε; ≤ 0 (or NaN) requests exact answers.
+	Bound float64
+	// Repetitions is how many times the caller expects to run this query in
+	// total (index build cost amortizes over it). Values < 1 normalize to 1
+	// here — the single clamping point for every entry path.
+	Repetitions int
+	// Strategy, when non-nil, bypasses the planner and forces the physical
+	// strategy. The request is rejected up front if the strategy cannot
+	// answer it (BRJ with MIN/MAX in the set, pointidx without a Dataset
+	// target, any non-exact strategy without a positive bound).
+	Strategy *Strategy
+	// Workers overrides the engine's intra-query fan-out for this request;
+	// ≤ 0 selects the engine's SetWorkers configuration (and, inside
+	// DoBatch, a single-threaded join — the batch parallelizes across
+	// requests instead).
+	Workers int
+	// Explain asks for the rendered plan comparison in Response.Explain.
+	Explain bool
+}
+
+// Response carries one request's outcome.
+type Response struct {
+	// Results holds one Result per requested aggregate, positionally aligned
+	// with Request.Aggs.
+	Results []Result
+	// Strategy is the physical strategy that ran: the plan's choice, or the
+	// request's override.
+	Strategy Strategy
+	// Plan is the planner's full cost comparison for the request. Under a
+	// Strategy override it still records what the planner would have chosen.
+	Plan Plan
+	// Explain is the rendered plan comparison, filled iff Request.Explain.
+	Explain string
+	// Build is the time this request spent acquiring the strategy's build
+	// artifact — a real build on a cold cache, a wait on a build in flight,
+	// ~0 on a warm hit.
+	Build time.Duration
+	// Wall is the request's total execution time.
+	Wall time.Duration
+	// Err is the per-request outcome in DoBatch (a failed request never
+	// aborts its siblings). Do reports errors through its error return
+	// instead and leaves Err nil.
+	Err error
+}
+
+// normalizeRequest validates req and applies the shared normalization every
+// entry path goes through — in particular the Repetitions < 1 → 1 clamp
+// lives here and nowhere else.
+func (e *Engine) normalizeRequest(req Request) (Request, error) {
+	if len(req.Aggs) == 0 {
+		return req, fmt.Errorf("distbound: request needs at least one aggregate")
+	}
+	if req.Dataset != nil && (req.Points.Pts != nil || req.Points.Weights != nil) {
+		return req, fmt.Errorf("distbound: request sets both Points and Dataset; name exactly one target")
+	}
+	if req.Dataset != nil {
+		if err := e.checkDataset(req.Dataset); err != nil {
+			return req, err
+		}
+	}
+	if req.Repetitions < 1 {
+		req.Repetitions = 1
+	}
+	if req.Strategy != nil {
+		if err := checkOverride(req); err != nil {
+			return req, err
+		}
+	}
+	return req, nil
+}
+
+// checkOverride rejects a forced strategy that cannot answer the request, so
+// the failure names the real conflict instead of surfacing from deep inside
+// a joiner.
+func checkOverride(req Request) error {
+	switch s := *req.Strategy; s {
+	case StrategyExact:
+		return nil
+	case StrategyACT, StrategyBRJ, StrategyPointIdx:
+		if !(req.Bound > 0) {
+			return fmt.Errorf("distbound: strategy %v requires a positive bound", s)
+		}
+		if s == StrategyBRJ && join.ExtremeIn(req.Aggs) {
+			return fmt.Errorf("distbound: strategy brj cannot answer MIN/MAX aggregates")
+		}
+		if s == StrategyPointIdx && req.Dataset == nil {
+			return fmt.Errorf("distbound: strategy pointidx requires a Dataset target")
+		}
+		return nil
+	default:
+		return fmt.Errorf("distbound: unknown strategy %v", s)
+	}
+}
+
+// planRequest plans one normalized request with an explicit effective
+// repetition count (DoBatch adds same-bound sharing credit on top of the
+// request's own). For a dataset target the point count and delta size come
+// from one snapshot, so the plan reflects a consistent instant of a dataset
+// under concurrent mutation.
+func (e *Engine) planRequest(req Request, reps int) Plan {
+	q := planner.Query{
+		Regions:     e.regions,
+		Bound:       req.Bound,
+		Repetitions: reps,
+		Aggs:        req.Aggs,
+		CachedBuild: e.cachedBuilds(req.Bound),
+		Stats:       &e.stats,
+	}
+	if ds := req.Dataset; ds != nil {
+		if e.pidx.ContainsReady(pidxKey{src: ds.src, bound: req.Bound}) {
+			q.CachedBuild[StrategyPointIdx] = true
+		}
+		snap := ds.src.Snapshot()
+		q.NumPoints = snap.LiveLen()
+		q.ResidentPoints = true
+		q.DeltaPoints = snap.DeltaLen()
+	} else {
+		q.NumPoints = len(req.Points.Pts)
+	}
+	return e.costModel().Choose(q)
+}
+
+// Do answers one request: it plans once for the whole aggregate set, builds
+// (or reuses) one artifact, and computes every aggregate in a single fold
+// pass over one snapshot. Canceling ctx unwinds the worker fan-out promptly
+// — and a build every waiter abandoned stops too — returning ctx.Err();
+// caches and in-flight builds other callers share stay consistent. Safe for
+// concurrent use.
+func (e *Engine) Do(ctx context.Context, req Request) (Response, error) {
+	start := time.Now()
+	req, err := e.normalizeRequest(req)
+	if err != nil {
+		return Response{}, err
+	}
+	plan := e.planRequest(req, req.Repetitions)
+	resp := Response{Strategy: plan.Strategy, Plan: plan}
+	if req.Strategy != nil {
+		resp.Strategy = *req.Strategy
+	}
+	if req.Explain {
+		resp.Explain = plan.Explain()
+	}
+	workers := req.Workers
+	if workers <= 0 {
+		workers = e.Workers()
+	}
+	resp.Results, resp.Build, err = e.executeMulti(ctx, req, resp.Strategy, workers)
+	resp.Wall = time.Since(start)
+	if err != nil {
+		return resp, canceledAs(ctx, err)
+	}
+	return resp, nil
+}
+
+// canceledAs maps a cancellation-shaped execution error back to the
+// caller's ctx.Err() — the contract is that canceling a request returns
+// ctx.Err(), not the joiner- or build-wrapped form it surfaced as. An
+// unrelated error (a validation failure, a build bug) is preserved even if
+// the context happens to expire in the same instant: masking it would send
+// the caller retrying a request that can never succeed.
+func canceledAs(ctx context.Context, err error) error {
+	if ce := ctx.Err(); ce != nil &&
+		(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		return ce
+	}
+	return err
+}
+
+// DoBatch answers many requests by sharding them across a pool of workers
+// (≤ 0 selects GOMAXPROCS). Every request's plan is fixed up front against
+// the cache state at batch entry, so a batch's results — including the
+// chosen strategies — are deterministic for a given engine state regardless
+// of worker count; requests that share a distance bound amortize one index
+// build across the batch. Responses align positionally with requests, and a
+// failed request reports through its Response.Err without aborting its
+// siblings. Canceling ctx stops dispatching, lets started requests unwind
+// promptly, marks every unfinished request's Err with ctx.Err(), and
+// returns ctx.Err(); a nil error means every request ran (check per-request
+// Errs for individual failures).
+//
+// Unless a request sets Workers explicitly, its join runs single-threaded:
+// the batch parallelizes across requests, and combining both fan-outs would
+// oversubscribe the pool.
+func (e *Engine) DoBatch(ctx context.Context, reqs []Request, workers int) ([]Response, error) {
+	workers = pool.Workers(workers, len(reqs))
+	resps := make([]Response, len(reqs))
+	norm := make([]Request, len(reqs))
+	valid := make([]bool, len(reqs))
+	for i, r := range reqs {
+		n, err := e.normalizeRequest(r)
+		if err != nil {
+			resps[i].Err = err
+			continue
+		}
+		norm[i], valid[i] = n, true
+	}
+
+	// Multiplicity inside the batch: k requests that can share a strategy's
+	// build artifact mean a freshly built index is reused at least k times,
+	// which the planner folds into its repetition amortization. Sets
+	// containing MIN/MAX are keyed separately — they can never run BRJ, so
+	// counting them toward a COUNT request's amortization could credit a
+	// mask build the extremes will never touch. Dataset requests are keyed
+	// separately as well: their learned-index artifact is per-(dataset,
+	// bound), so crediting it to ad-hoc requests (or vice versa) could
+	// promise sharing that never happens. The builds they can genuinely
+	// share (ACT at the same bound) still coalesce in the cache at execution
+	// time; under-crediting that is conservative.
+	type shareKey struct {
+		bound   float64
+		extreme bool
+		dataset string
+	}
+	keyOf := func(r Request) shareKey {
+		k := shareKey{bound: r.Bound, extreme: join.ExtremeIn(r.Aggs)}
+		if r.Dataset != nil {
+			k.dataset = r.Dataset.name
+		}
+		return k
+	}
+	sharing := map[shareKey]int{}
+	for _, r := range reqs {
+		sharing[keyOf(r)]++
+	}
+
+	// Plan before executing anything: plans then reflect the batch-entry
+	// cache state instead of whatever builds happen to finish mid-batch,
+	// which would make strategy choice depend on worker interleaving.
+	strategies := make([]Strategy, len(reqs))
+	for i := range reqs {
+		if !valid[i] {
+			continue
+		}
+		plan := e.planRequest(norm[i], norm[i].Repetitions+sharing[keyOf(reqs[i])]-1)
+		resps[i].Plan = plan
+		strategies[i] = plan.Strategy
+		if norm[i].Strategy != nil {
+			strategies[i] = *norm[i].Strategy
+		}
+		resps[i].Strategy = strategies[i]
+		if norm[i].Explain {
+			resps[i].Explain = plan.Explain()
+		}
+	}
+
+	err := pool.RunCtx(ctx, len(reqs), workers, func(_, i int) error {
+		if !valid[i] {
+			return nil
+		}
+		t0 := time.Now()
+		w := norm[i].Workers
+		if w <= 0 {
+			w = 1
+		}
+		results, build, err := e.executeMulti(ctx, norm[i], strategies[i], w)
+		resps[i].Results = results
+		resps[i].Build = build
+		resps[i].Wall = time.Since(t0)
+		if err != nil {
+			resps[i].Err = canceledAs(ctx, err)
+		}
+		// Per-request failures land in Err rather than aborting the pool, so
+		// one bad request never drops its siblings.
+		return nil
+	})
+	if err != nil {
+		for i := range resps {
+			if valid[i] && resps[i].Results == nil && resps[i].Err == nil {
+				resps[i].Err = err
+			}
+		}
+		return resps, err
+	}
+	return resps, nil
+}
+
+// executeMulti runs one normalized request's aggregate set on a fixed
+// strategy: one artifact acquisition, one multi-aggregate fold. The returned
+// duration is the artifact-acquisition share of the run.
+func (e *Engine) executeMulti(ctx context.Context, req Request, strategy Strategy, workers int) ([]Result, time.Duration, error) {
+	ps := req.Points
+	if ds := req.Dataset; ds != nil {
+		if strategy == StrategyPointIdx {
+			tb := time.Now()
+			j, err := e.pointIdxJoinerCtx(ctx, ds, req.Bound, workers)
+			build := time.Since(tb)
+			if err != nil {
+				return nil, build, err
+			}
+			results, err := j.AggregateMulti(ctx, req.Aggs, workers)
+			return results, build, err
+		}
+		// Streaming strategies consume the dataset's materialized live points
+		// — the same survivors the point-index strategy serves from
+		// base+delta — so all plans agree on a mutated dataset, not just a
+		// freshly registered one.
+		pts, ws := ds.src.Snapshot().Materialize()
+		ps = PointSet{Pts: pts, Weights: ws}
+	}
+	switch strategy {
+	case StrategyExact:
+		// The R*-tree build is MBR bulk-loading — milliseconds, charged no
+		// cost by the planner and not worth a context gate — but the one
+		// caller who does pay it should see it in Build.
+		tb := time.Now()
+		j := e.exactJoiner()
+		build := time.Since(tb)
+		results, err := j.AggregateMulti(ctx, ps, req.Aggs, workers)
+		return results, build, err
+	case StrategyACT:
+		tb := time.Now()
+		aj, err := e.actJoinerCtx(ctx, req.Bound)
+		build := time.Since(tb)
+		if err != nil {
+			return nil, build, err
+		}
+		results, err := aj.AggregateMulti(ctx, ps, req.Aggs, workers)
+		return results, build, err
+	case StrategyBRJ:
+		tb := time.Now()
+		bj, err := e.brjJoinerCtx(ctx, req.Bound, workers)
+		build := time.Since(tb)
+		if err != nil {
+			return nil, build, err
+		}
+		results, err := bj.AggregateMulti(ctx, ps, req.Aggs, workers)
+		return results, build, err
+	default:
+		return nil, 0, fmt.Errorf("distbound: unknown strategy %v", strategy)
+	}
+}
