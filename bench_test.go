@@ -7,6 +7,7 @@ package distbound
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"testing"
 
@@ -308,7 +309,8 @@ func BenchmarkFig7Baseline(b *testing.B) {
 // BenchmarkResident: repeated aggregation over a registered dataset — the
 // resident learned-index probe against streaming the same points through
 // the ACT join at the same bound (one iteration = one full aggregation on
-// warm caches; the resident path should win and stay flat in point count).
+// warm caches; the resident path should win, stay flat in point count, and
+// — with the caller releasing its responses — allocate nothing).
 func BenchmarkResident(b *testing.B) {
 	pts, weights := data.TaxiPoints(1, benchPoints)
 	regions := data.Regions(data.Census(13, benchCensus))
@@ -322,36 +324,99 @@ func BenchmarkResident(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	const bound = 16.0
-	aj, err := join.NewACTJoiner(regions, DomainForRegions(regions...), sfc.Hilbert{}, bound, 0)
-	if err != nil {
-		b.Fatal(err)
-	}
+	ctx := context.Background()
+	d := DomainForRegions(regions...)
 	ps := join.PointSet{Pts: pts, Weights: weights}
-	b.Run("streaming-act", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			if _, err := aj.Aggregate(ps, join.Count); err != nil {
-				b.Fatal(err)
-			}
-		}
-	})
-	b.Run("resident-pointidx", func(b *testing.B) {
-		// Warm the cover artifact, then measure probes only.
-		if _, _, err := e.AggregateDataset(ds, Count, bound, 100000); err != nil {
+	for _, bound := range []float64{8, 16} {
+		aj, err := join.NewACTJoiner(regions, d, sfc.Hilbert{}, bound, 0)
+		if err != nil {
 			b.Fatal(err)
 		}
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			res, strat, err := e.AggregateDataset(ds, Count, bound, 100000)
+		b.Run(fmt.Sprintf("streaming-act/bound=%g", bound), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := aj.Aggregate(ps, join.Count); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("resident-pointidx/bound=%g", bound), func(b *testing.B) {
+			b.ReportAllocs()
+			req := Request{Dataset: ds, Aggs: []Agg{Count}, Bound: bound, Repetitions: 100000}
+			// Warm the cover artifact, then measure probes only. The warm
+			// resident Do path is the zero-alloc acceptance gate: CI fails
+			// this benchmark on any allocs/op.
+			warm, err := e.Do(ctx, req)
 			if err != nil {
 				b.Fatal(err)
 			}
-			if strat != StrategyPointIdx {
-				b.Fatalf("planned %v, want pointidx", strat)
+			warm.Release()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				resp, err := e.Do(ctx, req)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if resp.Strategy != StrategyPointIdx {
+					b.Fatalf("planned %v, want pointidx", resp.Strategy)
+				}
+				resp.Release()
 			}
-			_ = res
+		})
+	}
+}
+
+// BenchmarkCoverPlan: the tentpole head-to-head — the global cover-plan
+// execution (one monotone boundary sweep, deduplicated probes, inverted
+// delta) against the per-region reference execution (independent Span
+// probes per region, delta brute-scanned per region) on the same joiner,
+// same snapshot, sequential on both sides. Run with -delta to see the
+// inversion's win too: the per-region side degrades with regions × delta
+// while the plan side pays delta × log(ranges).
+func BenchmarkCoverPlan(b *testing.B) {
+	pts, weights := data.TaxiPoints(1, benchPoints)
+	regions := data.Regions(data.Census(13, benchCensus))
+	e := NewEngine(regions)
+	ds, err := e.RegisterPoints("bench", pts, weights)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds.SetCompactionThreshold(0)
+	ctx := context.Background()
+	aggs := []Agg{Count, Sum}
+	for _, cfg := range []struct {
+		name  string
+		delta int
+	}{{"compact", 0}, {"delta=50k", 50_000}} {
+		if cfg.delta > 0 {
+			if _, err := ds.Append(pts[:cfg.delta], weights[:cfg.delta]); err != nil {
+				b.Fatal(err)
+			}
 		}
-	})
+		for _, bound := range []float64{8, 16} {
+			pj, err := join.NewPointIdxJoiner(regions, ds.src, bound, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run(fmt.Sprintf("%s/per-region/bound=%g", cfg.name, bound), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := pj.AggregateMultiPerRegion(ctx, aggs, 1); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.Run(fmt.Sprintf("%s/cover-plan/bound=%g", cfg.name, bound), func(b *testing.B) {
+				b.ReportAllocs()
+				results := join.NewResults(aggs, len(regions))
+				for i := 0; i < b.N; i++ {
+					if _, err := pj.AggregateMultiInto(ctx, aggs, 1, results); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
 }
 
 // BenchmarkAblApprox: construction cost of each approximation kind (§2.1
@@ -522,6 +587,7 @@ func BenchmarkMultiAgg(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.Run("single-pass", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			resp, err := e.Do(ctx, Request{Dataset: ds, Aggs: allAggs, Bound: bound, Strategy: &pidx})
 			if err != nil {
@@ -530,14 +596,18 @@ func BenchmarkMultiAgg(b *testing.B) {
 			if len(resp.Results) != 5 {
 				b.Fatal("short response")
 			}
+			resp.Release()
 		}
 	})
 	b.Run("sequential", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			for _, agg := range allAggs {
-				if _, err := e.Do(ctx, Request{Dataset: ds, Aggs: []Agg{agg}, Bound: bound, Strategy: &pidx}); err != nil {
+				resp, err := e.Do(ctx, Request{Dataset: ds, Aggs: []Agg{agg}, Bound: bound, Strategy: &pidx})
+				if err != nil {
 					b.Fatal(err)
 				}
+				resp.Release()
 			}
 		}
 	})

@@ -13,16 +13,17 @@ import (
 // name, the run configuration, and flat numeric metrics so successive runs
 // diff cleanly.
 type benchJSON struct {
-	Name          string               `json:"name"`
-	Timestamp     string               `json:"timestamp"`
-	Config        benchConfigJSON      `json:"config"`
-	Queries       int                  `json:"queries"`
-	Seconds       float64              `json:"seconds"`
-	ThroughputQPS float64              `json:"throughput_qps"`
-	LatencyMS     map[string]float64   `json:"latency_ms"`
-	Strategies    map[string]int       `json:"strategies"`
-	Comparisons   []pathComparison     `json:"resident_vs_streaming,omitempty"`
-	MultiAgg      []multiAggComparison `json:"multiagg_vs_sequential,omitempty"`
+	Name          string                `json:"name"`
+	Timestamp     string                `json:"timestamp"`
+	Config        benchConfigJSON       `json:"config"`
+	Queries       int                   `json:"queries"`
+	Seconds       float64               `json:"seconds"`
+	ThroughputQPS float64               `json:"throughput_qps"`
+	LatencyMS     map[string]float64    `json:"latency_ms"`
+	Strategies    map[string]int        `json:"strategies"`
+	Comparisons   []pathComparison      `json:"resident_vs_streaming,omitempty"`
+	MultiAgg      []multiAggComparison  `json:"multiagg_vs_sequential,omitempty"`
+	CoverPlan     []coverPlanComparison `json:"coverplan_vs_perregion,omitempty"`
 }
 
 type benchConfigJSON struct {
@@ -38,13 +39,14 @@ type benchConfigJSON struct {
 	Workers     int       `json:"workers"`
 	QueryPoints int       `json:"query_points"`
 	Resident    bool      `json:"resident"`
+	Skew        float64   `json:"skew,omitempty"`
 }
 
 // writeBenchJSON renders one load run as a BENCH_*.json document.
 func writeBenchJSON(cfg loadConfig, queries int, elapsed time.Duration,
 	pct func(float64) time.Duration, max time.Duration,
 	strategies map[distbound.Strategy]int, comparisons []pathComparison,
-	multiAggs []multiAggComparison) error {
+	multiAggs []multiAggComparison, coverPlans []coverPlanComparison) error {
 	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1e3 }
 	name := "spatialbench-load"
 	queryPoints := cfg.queryPoints
@@ -70,6 +72,7 @@ func writeBenchJSON(cfg loadConfig, queries int, elapsed time.Duration,
 			Workers:     cfg.workers,
 			QueryPoints: queryPoints,
 			Resident:    cfg.resident,
+			Skew:        cfg.skew,
 		},
 		Queries:       queries,
 		Seconds:       elapsed.Seconds(),
@@ -87,6 +90,7 @@ func writeBenchJSON(cfg loadConfig, queries int, elapsed time.Duration,
 	}
 	doc.Comparisons = comparisons
 	doc.MultiAgg = multiAggs
+	doc.CoverPlan = coverPlans
 	out, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err

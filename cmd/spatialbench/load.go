@@ -13,6 +13,10 @@ import (
 
 	"distbound"
 	"distbound/internal/data"
+	"distbound/internal/geom"
+	"distbound/internal/join"
+	"distbound/internal/pointstore"
+	"distbound/internal/sfc"
 )
 
 // loadConfig parameterizes the -concurrency serving benchmark: N client
@@ -38,6 +42,37 @@ type loadConfig struct {
 	ingest           bool
 	ingestBatch      int
 	compactThreshold int
+
+	// skew > 0 replaces the census regions with rectangles whose sizes —
+	// and therefore distance-bounded cover sizes — follow a Zipf law with
+	// this exponent: a few giant regions over a long tail of tiny ones, the
+	// workload that used to pin p99 behind whichever worker drew the giant
+	// under region-count sharding.
+	skew float64
+}
+
+// zipfRegions builds n rectangle regions whose side lengths decay as
+// 1/rank^s over the city bounds: region 0 spans a quarter of the domain,
+// the tail shrinks toward single cells. The resulting cover-range counts
+// are what the cost-weighted partitioning has to balance.
+func zipfRegions(seed int64, n int, s float64) []distbound.Region {
+	rng := rand.New(rand.NewSource(seed))
+	b := data.CityBounds()
+	out := make([]distbound.Region, 0, n)
+	for i := 0; i < n; i++ {
+		frac := 0.25 / math.Pow(float64(i+1), s)
+		w, h := b.Width()*frac, b.Height()*frac
+		x0 := b.Min.X + rng.Float64()*(b.Width()-w)
+		y0 := b.Min.Y + rng.Float64()*(b.Height()-h)
+		poly, err := geom.NewPolygon(geom.Ring{
+			geom.Pt(x0, y0), geom.Pt(x0+w, y0), geom.Pt(x0+w, y0+h), geom.Pt(x0, y0+h),
+		})
+		if err != nil {
+			panic(err) // axis-aligned rectangles are always simple rings
+		}
+		out = append(out, poly)
+	}
+	return out
 }
 
 // parseBounds parses a comma-separated bound list ("0,16,64").
@@ -292,6 +327,86 @@ func compareResident(e *distbound.Engine, ds *distbound.Dataset, pool distbound.
 	return out
 }
 
+// coverPlanComparison is one bound's head-to-head between the per-region
+// reference execution and the global cover-plan execution on the same
+// joiner and snapshot.
+type coverPlanComparison struct {
+	Bound          float64 `json:"bound"`
+	Ranges         int     `json:"ranges"`
+	UniqueRanges   int     `json:"unique_ranges"`
+	BoundaryProbes int     `json:"boundary_probes"`
+	PerRegionMS    float64 `json:"per_region_ms_per_query"`
+	CoverPlanMS    float64 `json:"cover_plan_ms_per_query"`
+	Speedup        float64 `json:"speedup"`
+}
+
+// compareCoverPlan times the per-region reference execution against the
+// cover-plan execution, per bound, single-threaded on both sides so the
+// measured gap is the plan's (sweep + dedup + inverted delta), not the
+// partitioning's. It deliberately builds a private store over the pool —
+// one extra sort+index build and a second copy of the columns — so the
+// engine's caches and the registered dataset stay untouched by the
+// head-to-head (the library does not expose its internal store handle,
+// and a bench is not a reason to widen that surface).
+func compareCoverPlan(regions []distbound.Region, pool distbound.PointSet, cfg loadConfig) []coverPlanComparison {
+	const reps = 3
+	store, err := pointstore.NewMutable(pool.Pts, pool.Weights, data.CityDomain(), sfc.Hilbert{})
+	if err != nil {
+		fmt.Printf("cover-plan head-to-head: store build failed: %v\n", err)
+		return nil
+	}
+	ctx := context.Background()
+	aggs := []distbound.Agg{distbound.Count, distbound.Sum}
+	var out []coverPlanComparison
+	for _, bound := range cfg.bounds {
+		if bound <= 0 {
+			continue
+		}
+		pj, err := join.NewPointIdxJoiner(regions, store, bound, 0)
+		if err != nil {
+			fmt.Printf("cover-plan head-to-head bound %g: %v\n", bound, err)
+			continue
+		}
+		c := coverPlanComparison{
+			Bound:          bound,
+			Ranges:         pj.NumRanges(),
+			UniqueRanges:   pj.NumUniqueRanges(),
+			BoundaryProbes: pj.NumBoundaryProbes(),
+		}
+		timed := func(run func() error) (float64, bool) {
+			t0 := time.Now()
+			for i := 0; i < reps; i++ {
+				if err := run(); err != nil {
+					fmt.Printf("cover-plan head-to-head bound %g: %v\n", bound, err)
+					return 0, false
+				}
+			}
+			return float64(time.Since(t0).Microseconds()) / 1e3 / reps, true
+		}
+		var ok bool
+		if c.PerRegionMS, ok = timed(func() error {
+			_, err := pj.AggregateMultiPerRegion(ctx, aggs, 1)
+			return err
+		}); !ok {
+			continue
+		}
+		results := join.NewResults(aggs, len(regions))
+		if c.CoverPlanMS, ok = timed(func() error {
+			_, err := pj.AggregateMultiInto(ctx, aggs, 1, results)
+			return err
+		}); !ok {
+			continue
+		}
+		if c.CoverPlanMS > 0 {
+			c.Speedup = c.PerRegionMS / c.CoverPlanMS
+		}
+		fmt.Printf("cover-plan bound %g: %d ranges → %d unique (%d boundaries); per-region=%.1fms plan=%.1fms speedup=%.1f×\n",
+			c.Bound, c.Ranges, c.UniqueRanges, c.BoundaryProbes, c.PerRegionMS, c.CoverPlanMS, c.Speedup)
+		out = append(out, c)
+	}
+	return out
+}
+
 // multiAggComparison is one bound's head-to-head between a single Do
 // carrying all five aggregates and five sequential single-aggregate calls.
 type multiAggComparison struct {
@@ -381,12 +496,25 @@ func compareMultiAgg(e *distbound.Engine, ds *distbound.Dataset, pool distbound.
 
 // runLoad executes the concurrent load benchmark.
 func runLoad(cfg loadConfig) error {
-	fmt.Printf("load mode: %d clients, %v, %d-point pool, %d regions, bounds %v, agg %v, batch %d, resident %v\n",
-		cfg.concurrency, cfg.duration, cfg.numPoints, cfg.censusCount, cfg.bounds, cfg.agg, cfg.batch, cfg.resident)
+	fmt.Printf("load mode: %d clients, %v, %d-point pool, %d regions, bounds %v, agg %v, batch %d, resident %v, skew %g\n",
+		cfg.concurrency, cfg.duration, cfg.numPoints, cfg.censusCount, cfg.bounds, cfg.agg, cfg.batch, cfg.resident, cfg.skew)
 
 	pts, weights := data.TaxiPoints(cfg.seed, cfg.numPoints)
 	pool := distbound.PointSet{Pts: pts, Weights: weights}
 	regions := data.Regions(data.Census(cfg.seed+1, cfg.censusCount))
+	if cfg.skew > 0 {
+		regions = zipfRegions(cfg.seed+1, cfg.censusCount, cfg.skew)
+		var total, biggest float64
+		for _, rg := range regions {
+			a := rg.Bounds().Area()
+			total += a
+			if a > biggest {
+				biggest = a
+			}
+		}
+		fmt.Printf("zipf regions: exponent %g, largest region holds %.1f%% of the total covered area — p99 shows whether cost-weighted partitioning tames it\n",
+			cfg.skew, 100*biggest/total)
+	}
 	e := distbound.NewEngine(regions)
 
 	var ds *distbound.Dataset
@@ -420,8 +548,10 @@ func runLoad(cfg loadConfig) error {
 	// Fix the configured worker count before any timed measurement, so the
 	// head-to-head and the load phase land in one consistent configuration.
 	e.SetWorkers(cfg.workers)
+	var coverPlans []coverPlanComparison
 	if cfg.resident {
 		comparisons = compareResident(e, ds, pool, cfg)
+		coverPlans = compareCoverPlan(regions, pool, cfg)
 	}
 	var multiAggs []multiAggComparison
 	if cfg.multiagg {
@@ -551,7 +681,7 @@ func runLoad(cfg loadConfig) error {
 		}
 	}
 	if cfg.jsonPath != "" {
-		if err := writeBenchJSON(cfg, len(all), elapsed, pct, all[len(all)-1], strategies, comparisons, multiAggs); err != nil {
+		if err := writeBenchJSON(cfg, len(all), elapsed, pct, all[len(all)-1], strategies, comparisons, multiAggs, coverPlans); err != nil {
 			return fmt.Errorf("writing %s: %w", cfg.jsonPath, err)
 		}
 		fmt.Printf("wrote %s\n", cfg.jsonPath)

@@ -12,6 +12,7 @@
 //	spatialbench -concurrency 8 -resident           # resident-dataset mode
 //	spatialbench -concurrency 8 -ingest             # mixed append/query mode
 //	spatialbench -concurrency 8 -resident -multiagg # single-pass vs 5 sequential aggregates
+//	spatialbench -concurrency 8 -skew 1.2           # Zipf-skewed region sizes, tail-latency stress
 //	spatialbench -concurrency 8 -json BENCH_load.json
 //
 // Experiments: fig4a, fig4b, fig6, mem, fig7, ablapprox, ablcurve, all.
@@ -25,10 +26,18 @@
 //
 // With -resident the point pool is additionally registered as a resident
 // dataset (Engine.RegisterPoints) and the load phase drives AggregateDataset
-// over the whole pool, after a per-bound head-to-head comparing the
-// streaming and resident paths on a repetition-heavy workload. -json writes
-// the run's throughput and latency percentiles as a BENCH_*.json document
+// over the whole pool, after two per-bound head-to-heads: streaming vs
+// resident paths on a repetition-heavy workload, and the cover-plan
+// execution (global sweep, deduplicated probes, inverted delta) vs the
+// per-region reference execution. -json writes the run's throughput and
+// latency percentiles — plus both comparisons — as a BENCH_*.json document
 // so the performance trajectory is machine-trackable.
+//
+// With -skew s the census regions are replaced by rectangles whose sizes
+// (and therefore distance-bounded cover sizes) follow a Zipf law with
+// exponent s: a few giant regions over a long tail of tiny ones. Watch the
+// p99 column — cost-weighted work partitioning keeps the giant regions from
+// pinning tail latency the way region-count sharding did.
 //
 // With -multiagg the run adds a per-bound head-to-head of the unified
 // request API's single-pass execution: one Engine.Do carrying all five
@@ -77,11 +86,17 @@ func main() {
 		ingest           = flag.Bool("ingest", false, "load mode: mixed append/query workload — half the pool resident, half streamed in by a writer while readers query")
 		ingestBatch      = flag.Int("ingestbatch", 1000, "ingest mode: points per Append batch")
 		compactThreshold = flag.Int("compactthreshold", distbound.DefaultCompactionThreshold, "ingest mode: delta+tombstone rows triggering a background compaction (0 disables)")
+
+		skew = flag.Float64("skew", 0, "load mode: replace the census regions with rectangles whose cover sizes follow a Zipf law with this exponent (0 = off); stresses cost-weighted work partitioning, watch p99")
 	)
 	flag.Parse()
 
-	if (*resident || *ingest || *multiagg || *jsonPath != "") && *concurrency <= 0 {
-		fmt.Fprintln(os.Stderr, "-resident, -ingest, -multiagg and -json require load mode (-concurrency N > 0)")
+	if (*resident || *ingest || *multiagg || *jsonPath != "" || *skew > 0) && *concurrency <= 0 {
+		fmt.Fprintln(os.Stderr, "-resident, -ingest, -multiagg, -skew and -json require load mode (-concurrency N > 0)")
+		os.Exit(2)
+	}
+	if *skew > 0 && *ingest {
+		fmt.Fprintln(os.Stderr, "-skew is not wired into the ingest workload; drop one of -skew / -ingest")
 		os.Exit(2)
 	}
 	if *concurrency > 0 {
@@ -113,6 +128,7 @@ func main() {
 			ingest:           *ingest,
 			ingestBatch:      *ingestBatch,
 			compactThreshold: *compactThreshold,
+			skew:             *skew,
 		}
 		run := runLoad
 		if cfg.ingest {

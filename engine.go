@@ -84,6 +84,19 @@ type Engine struct {
 	dsMu     sync.RWMutex // guards datasets
 	datasets map[string]*Dataset
 	pidx     *cache.Cache[pidxKey, *join.PointIdxJoiner]
+
+	// scratch recycles respScratch instances across Do/DoBatch; together
+	// with the joiner-level plan scratch it makes the warm resident path
+	// allocation-free for callers that Release their Responses.
+	scratch sync.Pool
+}
+
+// getScratch hands out a pooled respScratch bound to this engine.
+func (e *Engine) getScratch() *respScratch {
+	if sc, ok := e.scratch.Get().(*respScratch); ok {
+		return sc
+	}
+	return &respScratch{e: e, cached: make(map[Strategy]bool, 4)}
 }
 
 // pidxKey identifies one resident probe artifact: the cover ranges of every
@@ -178,7 +191,18 @@ func (e *Engine) costModel() planner.CostModel {
 // builds count: an in-flight build has not been paid yet, and crediting it
 // would steer cheap one-shot queries into blocking on a slow build.
 func (e *Engine) cachedBuilds(bound float64) map[Strategy]bool {
-	m := map[Strategy]bool{}
+	return e.cachedBuildsInto(bound, nil)
+}
+
+// cachedBuildsInto is cachedBuilds filling a caller-reused map (allocating
+// only when m is nil) — the warm planning path charges no allocation for
+// the residency probe.
+func (e *Engine) cachedBuildsInto(bound float64, m map[Strategy]bool) map[Strategy]bool {
+	if m == nil {
+		m = make(map[Strategy]bool, 4)
+	} else {
+		clear(m)
+	}
 	if e.exact.Load() != nil {
 		m[StrategyExact] = true
 	}
@@ -470,7 +494,7 @@ func (e *Engine) PlanForDataset(ds *Dataset, agg Agg, bound float64, repetitions
 	if err := e.checkDataset(ds); err != nil {
 		return planner.Plan{}, err
 	}
-	return e.planRequest(Request{Dataset: ds, Aggs: []Agg{agg}, Bound: bound}, repetitions), nil
+	return e.planRequest(Request{Dataset: ds, Aggs: []Agg{agg}, Bound: bound}, repetitions, nil), nil
 }
 
 // AggregateDataset answers the aggregation query over a registered dataset
@@ -508,7 +532,13 @@ func (e *Engine) AggregateDataset(ds *Dataset, agg Agg, bound float64, repetitio
 // canceling ctx abandons the wait (and the build itself, once no caller
 // remains interested in it).
 func (e *Engine) pointIdxJoinerCtx(ctx context.Context, ds *Dataset, bound float64, workers int) (*join.PointIdxJoiner, error) {
-	j, err := e.pidx.GetOrBuildCtx(ctx, pidxKey{src: ds.src, bound: bound}, func(bctx context.Context) (*join.PointIdxJoiner, error) {
+	key := pidxKey{src: ds.src, bound: bound}
+	// Closure-free warm path: a ready entry is served without materializing
+	// the build closure below, so a hot resident loop allocates nothing here.
+	if j, ok := e.pidx.GetReady(key); ok {
+		return j, nil
+	}
+	j, err := e.pidx.GetOrBuildCtx(ctx, key, func(bctx context.Context) (*join.PointIdxJoiner, error) {
 		return join.NewPointIdxJoinerCtx(bctx, e.regions, ds.src, bound, workers)
 	})
 	if err != nil {

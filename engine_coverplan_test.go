@@ -1,0 +1,178 @@
+package distbound
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestResponseProbeCounters pins the probe metering of the resident path:
+// pointidx responses report how many unique cover-plan ranges were resolved
+// and how many live delta rows were searched; every other strategy reports
+// zero — the counters meter the probe economy only pointidx has.
+func TestResponseProbeCounters(t *testing.T) {
+	e, ds, ps := requestFixture(t)
+	ctx := context.Background()
+	pidx := StrategyPointIdx
+
+	resp, err := e.Do(ctx, Request{Dataset: ds, Aggs: []Agg{Count, Sum}, Bound: 16, Strategy: &pidx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.RangesProbed <= 0 {
+		t.Errorf("RangesProbed %d on a pointidx run", resp.RangesProbed)
+	}
+	// The fixture's delta: 4000 appended, the first 1000 deleted again —
+	// dead rows must not be counted as probed.
+	if want := 3000; resp.DeltaProbed != want {
+		t.Errorf("DeltaProbed %d, want %d (live delta rows only)", resp.DeltaProbed, want)
+	}
+	ranges := resp.RangesProbed
+
+	ds.Compact()
+	resp, err = e.Do(ctx, Request{Dataset: ds, Aggs: []Agg{Count}, Bound: 16, Strategy: &pidx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.DeltaProbed != 0 {
+		t.Errorf("DeltaProbed %d after compaction, want 0", resp.DeltaProbed)
+	}
+	if resp.RangesProbed != ranges {
+		t.Errorf("RangesProbed changed across compaction (%d → %d); the plan depends only on regions and bound",
+			ranges, resp.RangesProbed)
+	}
+
+	// Streaming strategies never touch the plan.
+	act := StrategyACT
+	resp, err = e.Do(ctx, Request{Points: ps, Aggs: []Agg{Count}, Bound: 16, Strategy: &act})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.RangesProbed != 0 || resp.DeltaProbed != 0 {
+		t.Errorf("streaming response carries probe counters {%d %d}", resp.RangesProbed, resp.DeltaProbed)
+	}
+}
+
+// TestExplainCoverPlanLineWarm pins the Explain surface of the cover plan:
+// before the resident artifact exists the plan has nothing measured to
+// report; once a pointidx query has built it, Explain prints the cover-plan
+// line with the artifact's real shape and keeps the strategy rows intact.
+func TestExplainCoverPlanLineWarm(t *testing.T) {
+	e, ds, _ := requestFixture(t)
+	ctx := context.Background()
+
+	cold, err := e.Do(ctx, Request{Dataset: ds, Aggs: []Agg{Count}, Bound: 16, Explain: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(cold.Explain, "cover-plan:") {
+		t.Errorf("cold Explain invented a cover-plan line:\n%s", cold.Explain)
+	}
+
+	pidx := StrategyPointIdx
+	warmup, err := e.Do(ctx, Request{Dataset: ds, Aggs: []Agg{Count}, Bound: 16, Strategy: &pidx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := e.Do(ctx, Request{Dataset: ds, Aggs: []Agg{Count}, Bound: 16, Explain: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(warm.Explain, "cover-plan:") {
+		t.Fatalf("warm Explain omits the cover-plan line:\n%s", warm.Explain)
+	}
+	if warm.Plan.Cover.Unique != warmup.RangesProbed {
+		t.Errorf("plan reports %d unique ranges, the run probed %d", warm.Plan.Cover.Unique, warmup.RangesProbed)
+	}
+	if warm.Plan.Cover.Ranges < warm.Plan.Cover.Unique || warm.Plan.Cover.Boundaries > 2*warm.Plan.Cover.Unique {
+		t.Errorf("implausible cover stats %+v", warm.Plan.Cover)
+	}
+	// The line is informational: the strategy comparison rows stay.
+	if !strings.Contains(warm.Explain, "pointidx") || !strings.Contains(warm.Explain, "*") {
+		t.Errorf("cover-plan line displaced the comparison:\n%s", warm.Explain)
+	}
+}
+
+// TestWarmResidentDoAllocationFree is the zero-allocation acceptance
+// criterion as a regression test: a warm single-threaded resident Do whose
+// responses are released must not allocate — not in planning (pooled maps),
+// not in artifact lookup (closure-free cache hit), not in execution (pooled
+// plan scratch and result columns).
+func TestWarmResidentDoAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("the race detector randomizes sync.Pool reuse; allocation counts are meaningless under it")
+	}
+	e, ds, _ := requestFixture(t)
+	e.SetWorkers(1)
+	ds.Compact()
+	ctx := context.Background()
+	// The strategy is pinned: the gate is about the execution path, not the
+	// plan choice (the planner still runs and must not allocate either).
+	pidx := StrategyPointIdx
+	req := Request{Dataset: ds, Aggs: []Agg{Count, Sum, Min}, Bound: 16, Repetitions: 100000, Strategy: &pidx}
+	// Warm plan, covers and pools.
+	for i := 0; i < 3; i++ {
+		resp, err := e.Do(ctx, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Release()
+	}
+	if allocs := testing.AllocsPerRun(50, func() {
+		resp, err := e.Do(ctx, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Release()
+	}); allocs > 0 {
+		t.Errorf("warm resident Do allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+// TestResponseReleaseSemantics: releasing recycles the backing storage
+// (observable as aliasing between a released response's columns and the
+// next one's), double-release and zero-value release are no-ops, and an
+// unreleased response's results are never overwritten by later requests.
+func TestResponseReleaseSemantics(t *testing.T) {
+	e, ds, _ := requestFixture(t)
+	e.SetWorkers(1)
+	ctx := context.Background()
+	pidx := StrategyPointIdx
+	req := Request{Dataset: ds, Aggs: []Agg{Count}, Bound: 16, Strategy: &pidx}
+
+	var zero Response
+	zero.Release() // must not panic
+
+	kept, err := e.Do(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keptCounts := append([]int64(nil), kept.Results[0].Counts...)
+
+	released, err := e.Do(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relSlice := released.Results[0].Counts
+	released.Release()
+	released.Release() // double release is a no-op
+	if released.Results != nil {
+		t.Error("Release left Results attached")
+	}
+
+	next, err := e.Do(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Under -race, sync.Pool drops Puts at random, so recycling is only
+	// observable in a regular build.
+	if !raceEnabled && &next.Results[0].Counts[0] != &relSlice[0] {
+		t.Error("released storage was not recycled by the next request")
+	}
+	for ri := range keptCounts {
+		if kept.Results[0].Counts[ri] != keptCounts[ri] {
+			t.Fatalf("unreleased response mutated at region %d", ri)
+		}
+	}
+	next.Release()
+}

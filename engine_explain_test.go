@@ -112,11 +112,11 @@ func TestExplainDatasetGolden(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	const wantDelta = `* pointidx   build=191.9ms run=8.4ms total=275.9ms
+	const wantDelta = `* pointidx   build=191.9ms run=8.4ms total=275.8ms
   exact(R*)  build=0.0ms run=27.9ms total=279.2ms
   act        build=191.9ms run=25.0ms total=441.9ms
   brj        build=43.3ms run=112.1ms total=1164.4ms
-delta: 20.0% of resident points await compaction (pointidx per-run cost includes the delta scan)`
+delta: 20.0% of resident points await compaction (pointidx per-run cost includes the inverted delta join)`
 	if got != wantDelta {
 		t.Errorf("ExplainDataset (delta) drifted:\n--- got ---\n%s\n--- want ---\n%s", got, wantDelta)
 	}

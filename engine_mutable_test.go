@@ -176,13 +176,14 @@ func TestDatasetAutoCompaction(t *testing.T) {
 	}
 }
 
-// TestDatasetDeltaTipsPlanner: the planner must abandon the point-index
-// strategy when the delta bloats (its per-run cost grows with regions ×
-// delta rows) and return to it after compaction. The fixture is
-// region-heavy on purpose: scanning one delta row against few regions is
-// cheaper than one ACT lookup, so only a workload with enough regions ever
-// tips — which is exactly what the cost model encodes.
-func TestDatasetDeltaTipsPlanner(t *testing.T) {
+// TestDatasetDeltaSurvivesPlanner: with the inverted delta join, a bloated
+// delta raises the point-index per-run cost only by delta × log(ranges) —
+// cheaper per row than one ACT lookup — so the planner keeps the point
+// index through heavy ingest instead of abandoning it the way the old
+// regions × delta scan forced. The delta debt must still be visible:
+// per-run cost grows monotonically with the delta, the plan reports the
+// fraction, Explain prints the line, and compaction clears all of it.
+func TestDatasetDeltaSurvivesPlanner(t *testing.T) {
 	pts, weights := data.TaxiPoints(51, 200_000)
 	regions := dataRegions(52, 12, 12, 10)
 	e := NewEngine(regions)
@@ -197,10 +198,11 @@ func TestDatasetDeltaTipsPlanner(t *testing.T) {
 		t.Fatal(err)
 	}
 	if plan.Strategy != StrategyPointIdx {
-		t.Skipf("fixture planned %v pre-mutation; tipping check needs pointidx", plan.Strategy)
+		t.Skipf("fixture planned %v pre-mutation; delta check needs pointidx", plan.Strategy)
 	}
-	// Append a delta comparable to the base: the per-region delta scan now
-	// dwarfs the range probes and the plan must tip to a streaming strategy.
+	cleanRun := plan.Costs[StrategyPointIdx].PerRun
+	// Append a delta comparable to the base: the inverted join keeps the
+	// point index cheapest, but the per-run cost must charge the searches.
 	for i := 0; i < 4; i++ {
 		if _, err := ds.Append(ps.Pts[:50_000], ps.Weights[:50_000]); err != nil {
 			t.Fatal(err)
@@ -210,8 +212,11 @@ func TestDatasetDeltaTipsPlanner(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if bloated.Strategy == StrategyPointIdx {
-		t.Errorf("planner kept pointidx with a 100%% delta fraction (costs %v)", bloated.Costs)
+	if bloated.Strategy != StrategyPointIdx {
+		t.Errorf("planner abandoned pointidx under a 100%% delta despite the inverted join (costs %v)", bloated.Costs)
+	}
+	if got := bloated.Costs[StrategyPointIdx].PerRun; got <= cleanRun {
+		t.Errorf("bloated per-run cost %g not above clean %g", got, cleanRun)
 	}
 	if bloated.DeltaFraction == 0 {
 		t.Error("plan reports no delta fraction on a bloated dataset")
@@ -223,7 +228,8 @@ func TestDatasetDeltaTipsPlanner(t *testing.T) {
 	if !strings.Contains(out, "delta:") {
 		t.Errorf("ExplainDataset omits the delta term:\n%s", out)
 	}
-	// Compaction folds the delta in; the plan returns to the point index.
+	// Compaction folds the delta in: the fraction and the extra per-run cost
+	// both vanish.
 	ds.Compact()
 	recovered, err := e.PlanForDataset(ds, Count, 16, 100000)
 	if err != nil {
@@ -234,6 +240,9 @@ func TestDatasetDeltaTipsPlanner(t *testing.T) {
 	}
 	if recovered.DeltaFraction != 0 {
 		t.Errorf("delta fraction %g after compaction", recovered.DeltaFraction)
+	}
+	if got := recovered.Costs[StrategyPointIdx].PerRun; got != cleanRun {
+		t.Errorf("post-compaction per-run cost %g, want the clean %g", got, cleanRun)
 	}
 }
 

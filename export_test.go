@@ -8,10 +8,11 @@ import "context"
 // production callers all route through Do/executeMulti; keeping it here
 // means there is exactly one execution path to diverge from (none).
 func (e *Engine) runDataset(ds *Dataset, agg Agg, bound float64, strategy Strategy, workers int) (Result, error) {
-	results, _, err := e.executeMulti(context.Background(),
-		Request{Dataset: ds, Aggs: []Agg{agg}, Bound: bound}, strategy, workers)
+	var resp Response
+	err := e.executeMulti(context.Background(),
+		Request{Dataset: ds, Aggs: []Agg{agg}, Bound: bound}, strategy, workers, &resp)
 	if err != nil {
 		return Result{}, err
 	}
-	return results[0], nil
+	return resp.Results[0], nil
 }

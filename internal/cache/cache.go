@@ -262,6 +262,59 @@ func (c *Cache[K, V]) runBuild(e *entry[K, V], build func() (V, error)) {
 	c.mu.Unlock()
 }
 
+// lookupReady returns the entry under key iff its build has completed
+// successfully; missing, in-flight, failed and abandoned entries all report
+// false. Called with mu held.
+func (c *Cache[K, V]) lookupReady(key K) (*entry[K, V], bool) {
+	e, ok := c.entries[key]
+	if !ok || e.abandoned {
+		return nil, false
+	}
+	select {
+	case <-e.ready:
+	default:
+		return nil, false
+	}
+	return e, e.err == nil
+}
+
+// GetReady returns the value cached under key iff its build has completed
+// successfully, recording a hit and refreshing recency exactly as
+// GetOrBuild's warm path would. A missing, in-flight or abandoned entry
+// returns false without recording anything — the caller falls back to
+// GetOrBuild/GetOrBuildCtx, whose stats then tell the full story. It exists
+// as the allocation-free warm path: unlike GetOrBuildCtx it takes no build
+// closure, so a hot serving loop heap-allocates nothing to ask for an
+// artifact that is almost always resident.
+func (c *Cache[K, V]) GetReady(key K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.lookupReady(key)
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	c.stats.Hits++
+	c.moveToFront(e)
+	return e.val, true
+}
+
+// PeekReady returns the value cached under key iff its build has completed
+// successfully, without recording stats or refreshing recency — the
+// side-effect-free residency probe (ContainsReady handing back the value it
+// found). A missing, in-flight, failed or abandoned entry returns false
+// immediately.
+func (c *Cache[K, V]) PeekReady(key K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.lookupReady(key)
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	return e.val, true
+}
+
 // Peek returns the value cached under key without affecting recency. It
 // blocks if the entry's build is still in flight.
 func (c *Cache[K, V]) Peek(key K) (V, bool) {

@@ -1,0 +1,529 @@
+package join
+
+import (
+	"context"
+	"math"
+	"sort"
+
+	"distbound/internal/pointstore"
+	"distbound/internal/pool"
+	"distbound/internal/raster"
+)
+
+// Cover-plan execution: instead of probing the learned index once per
+// (region, range) pair, the joiner flattens every region's cover ranges into
+// ONE globally sorted, deduplicated range list at construction and executes
+// queries against it in phases:
+//
+//  1. Resolve: every unique span boundary (range Lo / Hi+1 key) is resolved
+//     against the sorted key column in a single monotone sweep
+//     (pointstore.SpanMulti) — sequential access, each boundary located
+//     once no matter how many regions share it.
+//  2. Probe: per unique range, the span aggregates (count, sum, block
+//     min/max, tombstones subtracted) are computed once and shared by every
+//     region posting that range.
+//  3. Delta: the un-compacted tail is inverted — each live delta row is
+//     binary-searched into the plan's boundary segments once (O(log
+//     ranges)) and fanned out to the segment's covered regions' delta
+//     accumulators, instead of every region scanning every delta row.
+//  4. Fold: per region, the shared per-range aggregates are folded in the
+//     region's own Lo-ascending range order and merged with its delta
+//     accumulator.
+//
+// Parallel phases partition work by estimated probe cost — resolved span
+// length for ranges, range count plus delta hits for regions — so one
+// region with a huge cover no longer pins a whole worker's tail latency the
+// way region-count sharding did.
+//
+// Result identity with the per-region reference execution
+// (AggregateMultiPerRegion): COUNT, MIN and MAX are bit-identical — the
+// same spans produce the same per-range values, folded per region in the
+// same order. SUM/AVG fold base contributions in the identical order too;
+// only the delta tail's contributions associate differently (summed per
+// region in phase 3, then added once in phase 4, where the reference adds
+// each row to the running total), so float sums can differ by
+// re-association exactly when a delta is present — never in what is summed.
+
+// coverPlan is the immutable global execution plan derived from the
+// per-region covers. It depends only on the regions, domain, curve and
+// bound — never on the data — so it survives appends, deletes and
+// compactions of its dataset just like the covers themselves.
+type coverPlan struct {
+	uniq []raster.PosRange // globally (Lo, Hi)-sorted, deduplicated ranges
+
+	postOff  []int32 // len(uniq)+1; postings[postOff[u]:postOff[u+1]] = regions of uniq[u]
+	postings []int32
+
+	bkeys []uint64 // sorted, deduplicated boundary probe keys (Lo and Hi+1 values)
+	loB   []int32  // per unique range: bkeys index resolving to the span start
+	hiB   []int32  // per unique range: bkeys index resolving to the span end; -1 ⇒ column end
+
+	regOff  []int32 // len(regions)+1; regUniq[regOff[r]:regOff[r+1]] = r's ranges
+	regUniq []int32 // unique-range index per (region, range), Lo-ascending within a region
+
+	// Boundary-segment stab lists for the inverted delta join: every key in
+	// [bkeys[s], bkeys[s+1]) — and, for the final segment, [bkeys[last], ∞)
+	// — is covered by exactly the regions in
+	// stabRegions[stabOff[s]:stabOff[s+1]] (range boundaries only ever fall
+	// on bkeys). One binary search per delta row then fans straight out to
+	// the covered regions, with no dependence on how wide any single range
+	// is — a walk over candidate ranges would degrade to O(ranges) per row
+	// the moment one region's merged cover spans a fat slice of the curve.
+	stabOff     []int32
+	stabRegions []int32
+}
+
+// planScratch is the reusable per-query workspace of a cover-plan
+// execution, recycled through the joiner's sync.Pool so the warm path
+// allocates nothing. Every slice is sized once for the joiner's fixed plan
+// and region count.
+type planScratch struct {
+	resolved []int // per boundary key: position of the first column key ≥ it
+
+	cnt []int64 // per unique range: live row count
+	sum []float64
+	mn  []float64
+	mx  []float64 // nil when the store is weightless
+
+	dCnt []int64 // per region: delta accumulator
+	dSum []float64
+	dMn  []float64
+	dMx  []float64
+
+	shards [][2]int // reusable weighted shard bounds
+}
+
+// ProbeStats reports what one cover-plan execution actually touched.
+type ProbeStats struct {
+	// RangesProbed is the number of unique ranges whose span aggregates were
+	// computed — the shared probes all regions folded from.
+	RangesProbed int
+	// DeltaProbed is the number of live delta rows searched into the range
+	// list.
+	DeltaProbed int
+}
+
+// buildCoverPlan flattens per-region covers into the global plan.
+func buildCoverPlan(covers [][]raster.PosRange) *coverPlan {
+	total := 0
+	for _, rs := range covers {
+		total += len(rs)
+	}
+	type tagged struct {
+		r      raster.PosRange
+		region int32
+	}
+	all := make([]tagged, 0, total)
+	for ri, rs := range covers {
+		for _, r := range rs {
+			all = append(all, tagged{r, int32(ri)})
+		}
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].r.Lo != all[b].r.Lo {
+			return all[a].r.Lo < all[b].r.Lo
+		}
+		if all[a].r.Hi != all[b].r.Hi {
+			return all[a].r.Hi < all[b].r.Hi
+		}
+		return all[a].region < all[b].region
+	})
+
+	p := &coverPlan{}
+	// Deduplicate identical (Lo, Hi) ranges; tag each pair with its unique
+	// index for the per-region lists below.
+	uniqOf := make([]int32, len(all))
+	p.postOff = append(p.postOff, 0)
+	for i, t := range all {
+		if i == 0 || t.r != all[i-1].r {
+			p.uniq = append(p.uniq, t.r)
+			p.postOff = append(p.postOff, int32(len(p.postings)))
+		}
+		uniqOf[i] = int32(len(p.uniq) - 1)
+		p.postings = append(p.postings, t.region)
+		p.postOff[len(p.postOff)-1] = int32(len(p.postings))
+	}
+	// Per-region unique-range lists: `all` is Lo-sorted and a region's own
+	// ranges are disjoint, so distributing in order preserves each region's
+	// Lo-ascending fold order.
+	p.regOff = make([]int32, len(covers)+1)
+	for ri, rs := range covers {
+		p.regOff[ri+1] = p.regOff[ri] + int32(len(rs))
+	}
+	p.regUniq = make([]int32, total)
+	fill := make([]int32, len(covers))
+	copy(fill, p.regOff[:len(covers)])
+	for i, t := range all {
+		p.regUniq[fill[t.region]] = uniqOf[i]
+		fill[t.region]++
+	}
+
+	// Boundary probe keys: Lo and Hi+1 per unique range, sorted and
+	// deduplicated. Hi = MaxUint64 cannot be probed as Hi+1; the sentinel -1
+	// resolves to the column end at query time.
+	keys := make([]uint64, 0, 2*len(p.uniq))
+	for _, r := range p.uniq {
+		keys = append(keys, r.Lo)
+		if r.Hi != math.MaxUint64 {
+			keys = append(keys, r.Hi+1)
+		}
+	}
+	sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+	for _, k := range keys {
+		if n := len(p.bkeys); n == 0 || p.bkeys[n-1] != k {
+			p.bkeys = append(p.bkeys, k)
+		}
+	}
+	p.loB = make([]int32, len(p.uniq))
+	p.hiB = make([]int32, len(p.uniq))
+	for u, r := range p.uniq {
+		p.loB[u] = int32(sort.Search(len(p.bkeys), func(i int) bool { return p.bkeys[i] >= r.Lo }))
+		if r.Hi == math.MaxUint64 {
+			p.hiB[u] = -1
+		} else {
+			p.hiB[u] = int32(sort.Search(len(p.bkeys), func(i int) bool { return p.bkeys[i] >= r.Hi+1 }))
+		}
+	}
+	p.buildStab(len(covers))
+	return p
+}
+
+// buildStab sweeps the boundary segments once, maintaining the set of
+// covered regions, and freezes each segment's region list. A region's
+// merged ranges are disjoint, so it is active at most once at any key and
+// each stab list holds it at most once — fan-out can never double-credit.
+func (p *coverPlan) buildStab(numReg int) {
+	type event struct {
+		key    uint64
+		region int32
+		open   bool
+	}
+	events := make([]event, 0, 2*len(p.postings))
+	for u, r := range p.uniq {
+		for _, ri := range p.postings[p.postOff[u]:p.postOff[u+1]] {
+			events = append(events, event{r.Lo, ri, true})
+			if r.Hi != math.MaxUint64 {
+				// A MaxUint64-high range never closes; it stays active
+				// through the open-ended final segment.
+				events = append(events, event{r.Hi + 1, ri, false})
+			}
+		}
+	}
+	sort.Slice(events, func(a, b int) bool { return events[a].key < events[b].key })
+
+	active := make([]int32, 0, numReg) // regions covering the current segment
+	pos := make([]int32, numReg)       // index into active, or -1
+	for ri := range pos {
+		pos[ri] = -1
+	}
+	p.stabOff = make([]int32, 1, len(p.bkeys)+1)
+	ev := 0
+	for _, key := range p.bkeys {
+		for ev < len(events) && events[ev].key == key {
+			e := events[ev]
+			ev++
+			if e.open {
+				pos[e.region] = int32(len(active))
+				active = append(active, e.region)
+			} else {
+				// Swap-remove; patch the moved region's position.
+				at := pos[e.region]
+				last := active[len(active)-1]
+				active[at] = last
+				pos[last] = at
+				active = active[:len(active)-1]
+				pos[e.region] = -1
+			}
+		}
+		p.stabRegions = append(p.stabRegions, active...)
+		p.stabOff = append(p.stabOff, int32(len(p.stabRegions)))
+	}
+}
+
+// memoryBytes is the plan's resident footprint.
+func (p *coverPlan) memoryBytes() int {
+	return 16*len(p.uniq) + 8*len(p.bkeys) +
+		4*(len(p.postOff)+len(p.postings)+len(p.loB)+len(p.hiB)+
+			len(p.regOff)+len(p.regUniq)+len(p.stabOff)+len(p.stabRegions))
+}
+
+// newScratch sizes a workspace for the plan; hasW decides whether the float
+// columns exist.
+func (p *coverPlan) newScratch(numReg int, hasW bool) *planScratch {
+	sc := &planScratch{
+		resolved: make([]int, len(p.bkeys)),
+		cnt:      make([]int64, len(p.uniq)),
+		dCnt:     make([]int64, numReg),
+	}
+	if hasW {
+		sc.sum = make([]float64, len(p.uniq))
+		sc.mn = make([]float64, len(p.uniq))
+		sc.mx = make([]float64, len(p.uniq))
+		sc.dSum = make([]float64, numReg)
+		sc.dMn = make([]float64, numReg)
+		sc.dMx = make([]float64, numReg)
+	}
+	return sc
+}
+
+// cancelStride throttles per-item context polls on the inline (workers = 1)
+// path, mirroring cancelCheckMask for the goroutine fan-outs.
+const cancelStride = 4096
+
+// AggregateMultiInto is AggregateMulti writing into caller-provided results
+// — the allocation-free form of the cover-plan execution. results must hold
+// one Result per aggregate, positionally aligned with aggs, each with
+// Counts (and Sums/Extremes where the aggregate needs them) sized to the
+// region count; every slot is overwritten. The returned ProbeStats counts
+// the work performed. With workers ≤ 1 the call runs entirely inline —
+// no goroutines, no allocations beyond a pooled scratch reuse.
+func (j *PointIdxJoiner) AggregateMultiInto(ctx context.Context, aggs []Agg, workers int, results []Result) (ProbeStats, error) {
+	if err := j.validateAggs(aggs); err != nil {
+		return ProbeStats{}, err
+	}
+	needs := needsOf(aggs)
+	p := j.plan
+	numReg := len(j.covers)
+	snap := j.src.Snapshot()
+	done := ctx.Done()
+	stats := ProbeStats{RangesProbed: len(p.uniq)}
+
+	sc := j.scratch.Get().(*planScratch)
+	defer j.scratch.Put(sc)
+
+	if workers > 1 {
+		if err := j.resolveAndProbe(ctx, snap, sc, needs, workers); err != nil {
+			return ProbeStats{}, err
+		}
+	} else {
+		if canceled(done) {
+			return ProbeStats{}, ctx.Err()
+		}
+		snap.SpanMulti(p.bkeys, sc.resolved)
+		baseLen := snap.BaseLen()
+		for u := range p.uniq {
+			if u&(cancelStride-1) == 0 && canceled(done) {
+				return ProbeStats{}, ctx.Err()
+			}
+			probeRange(snap, p, sc, needs, u, baseLen)
+		}
+	}
+
+	// Delta inversion runs sequentially: delta accumulators must not depend
+	// on the worker count (a region's float sum would otherwise change with
+	// sharding), and the planner keeps the delta small relative to the base.
+	deltaAny := snap.DeltaLen() > 0
+	if deltaAny {
+		n, err := j.invertDelta(ctx, snap, sc, needs, numReg)
+		if err != nil {
+			return ProbeStats{}, err
+		}
+		stats.DeltaProbed = n
+	}
+
+	if workers > 1 {
+		shards := pool.SplitWeighted(numReg, workers, func(ri int) int64 {
+			w := int64(p.regOff[ri+1]-p.regOff[ri]) + 1
+			if deltaAny {
+				// Without a delta this query never wrote dCnt — a previous
+				// query's counts may still sit in the pooled scratch.
+				w += sc.dCnt[ri]
+			}
+			return w
+		}, sc.shards)
+		sc.shards = shards
+		err := pool.RunCtx(ctx, len(shards), len(shards), func(_, si int) error {
+			for ri := shards[si][0]; ri < shards[si][1]; ri++ {
+				j.foldRegion(sc, needs, deltaAny, ri, results)
+			}
+			return nil
+		})
+		if err != nil {
+			return ProbeStats{}, err
+		}
+	} else {
+		for ri := 0; ri < numReg; ri++ {
+			if ri&(cancelStride-1) == 0 && canceled(done) {
+				return ProbeStats{}, ctx.Err()
+			}
+			j.foldRegion(sc, needs, deltaAny, ri, results)
+		}
+	}
+	return stats, nil
+}
+
+// resolveAndProbe runs phases 1 and 2 across workers: boundary chunks are
+// swept concurrently (each chunk's first probe gallops from the column
+// start, the rest ride the monotone cursor), then the unique ranges are
+// probed in shards weighted by resolved span length, so one huge range
+// cannot serialize a worker behind a tail of small ones.
+func (j *PointIdxJoiner) resolveAndProbe(ctx context.Context, snap *pointstore.Snapshot, sc *planScratch, needs aggNeeds, workers int) error {
+	p := j.plan
+	chunks := shardBounds(len(p.bkeys), workers)
+	err := pool.RunCtx(ctx, len(chunks), len(chunks), func(_, ci int) error {
+		lo, hi := chunks[ci][0], chunks[ci][1]
+		snap.SpanMulti(p.bkeys[lo:hi], sc.resolved[lo:hi])
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	baseLen := snap.BaseLen()
+	spanLen := func(u int) int64 {
+		i := sc.resolved[p.loB[u]]
+		k := baseLen
+		if p.hiB[u] >= 0 {
+			k = sc.resolved[p.hiB[u]]
+		}
+		// The +16 floor charges the fixed per-range work (tombstone searches,
+		// prefix lookups) so empty spans still count toward balance.
+		return int64(k-i) + 16
+	}
+	shards := pool.SplitWeighted(len(p.uniq), workers, spanLen, sc.shards)
+	sc.shards = shards
+	return pool.RunCtx(ctx, len(shards), len(shards), func(_, si int) error {
+		done := ctx.Done()
+		for u := shards[si][0]; u < shards[si][1]; u++ {
+			if u&(cancelStride-1) == 0 && canceled(done) {
+				return ctx.Err()
+			}
+			probeRange(snap, p, sc, needs, u, baseLen)
+		}
+		return nil
+	})
+}
+
+// probeRange computes one unique range's span aggregates into the scratch
+// columns — the shared values every posting region folds from.
+func probeRange(snap *pointstore.Snapshot, p *coverPlan, sc *planScratch, needs aggNeeds, u, baseLen int) {
+	i := sc.resolved[p.loB[u]]
+	k := baseLen
+	if p.hiB[u] >= 0 {
+		k = sc.resolved[p.hiB[u]]
+	}
+	sc.cnt[u] = int64(snap.CountSpan(i, k))
+	if needs.sum {
+		sc.sum[u] = snap.SumSpan(i, k)
+	}
+	if needs.min {
+		sc.mn[u] = snap.MinSpan(i, k)
+	}
+	if needs.max {
+		sc.mx[u] = snap.MaxSpan(i, k)
+	}
+}
+
+// invertDelta searches each live delta row into the plan's boundary
+// segments and fans its contribution out to the segment's stab list of
+// covered regions, returning how many rows were probed. One binary search
+// plus the fan-out replaces the per-region brute scan — O(delta ×
+// (log ranges + hits)) instead of O(regions × delta).
+func (j *PointIdxJoiner) invertDelta(ctx context.Context, snap *pointstore.Snapshot, sc *planScratch, needs aggNeeds, numReg int) (int, error) {
+	p := j.plan
+	done := ctx.Done()
+	for ri := 0; ri < numReg; ri++ {
+		sc.dCnt[ri] = 0
+	}
+	if needs.sum || needs.min || needs.max {
+		for ri := 0; ri < numReg; ri++ {
+			sc.dSum[ri] = 0
+			sc.dMn[ri] = math.Inf(1)
+			sc.dMx[ri] = math.Inf(-1)
+		}
+	}
+	probed := 0
+	hasW := snap.HasWeights()
+	for k, dn := 0, snap.DeltaLen(); k < dn; k++ {
+		if k&(cancelStride-1) == 0 && canceled(done) {
+			return 0, ctx.Err()
+		}
+		if !snap.DeltaLive(k) {
+			continue
+		}
+		key := snap.DeltaKey(k)
+		probed++
+		// Last boundary key ≤ key names the segment; keys below the first
+		// boundary precede every range and cover nothing.
+		lo, hi := 0, len(p.bkeys)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if p.bkeys[mid] <= key {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo == 0 {
+			continue
+		}
+		stab := p.stabRegions[p.stabOff[lo-1]:p.stabOff[lo]]
+		if len(stab) == 0 {
+			continue
+		}
+		var w float64
+		if hasW {
+			w = snap.DeltaWeight(k)
+		}
+		for _, ri := range stab {
+			sc.dCnt[ri]++
+			if needs.sum {
+				sc.dSum[ri] += w
+			}
+			if needs.min {
+				sc.dMn[ri] = math.Min(sc.dMn[ri], w)
+			}
+			if needs.max {
+				sc.dMx[ri] = math.Max(sc.dMx[ri], w)
+			}
+		}
+	}
+	return probed, nil
+}
+
+// foldRegion folds one region's accumulators from the shared per-range
+// values (in the region's own Lo-ascending order, preserving the reference
+// execution's fold order) plus its delta accumulator, and writes the
+// region's slot of every result.
+func (j *PointIdxJoiner) foldRegion(sc *planScratch, needs aggNeeds, deltaAny bool, ri int, results []Result) {
+	p := j.plan
+	var cnt int64
+	var sum float64
+	mn, mx := math.Inf(1), math.Inf(-1)
+	for _, u := range p.regUniq[p.regOff[ri]:p.regOff[ri+1]] {
+		cnt += sc.cnt[u]
+		if needs.sum {
+			sum += sc.sum[u]
+		}
+		if needs.min {
+			mn = math.Min(mn, sc.mn[u])
+		}
+		if needs.max {
+			mx = math.Max(mx, sc.mx[u])
+		}
+	}
+	if deltaAny {
+		cnt += sc.dCnt[ri]
+		if needs.sum {
+			sum += sc.dSum[ri]
+		}
+		if needs.min {
+			mn = math.Min(mn, sc.dMn[ri])
+		}
+		if needs.max {
+			mx = math.Max(mx, sc.dMx[ri])
+		}
+	}
+	for k := range results {
+		results[k].Counts[ri] = cnt
+		if results[k].Sums != nil {
+			results[k].Sums[ri] = sum
+		}
+		if results[k].Extremes != nil {
+			if results[k].Agg == Min {
+				results[k].Extremes[ri] = mn
+			} else {
+				results[k].Extremes[ri] = mx
+			}
+		}
+	}
+}

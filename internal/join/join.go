@@ -88,6 +88,18 @@ type Result struct {
 	Extremes []float64
 }
 
+// NewResults allocates one zero-initialized Result per aggregate over n
+// regions, positionally aligned with aggs — the shape AggregateMultiInto
+// fills. Callers that recycle their own columns build the slice themselves;
+// this is the plain allocating form.
+func NewResults(aggs []Agg, n int) []Result {
+	out := make([]Result, len(aggs))
+	for k, agg := range aggs {
+		out[k] = newResult(agg, n)
+	}
+	return out
+}
+
 func newResult(agg Agg, n int) Result {
 	r := Result{Agg: agg, Counts: make([]int64, n)}
 	switch agg {

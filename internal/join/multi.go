@@ -344,19 +344,36 @@ func (j *BRJJoiner) AggregateMulti(ctx context.Context, ps PointSet, aggs []Agg,
 	return out, nil
 }
 
-// AggregateMulti computes every aggregate in aggs by probing the learned
-// index once per cover range: COUNT/SUM share the Span lookups and prefix
-// folds, MIN/MAX share the block scans, and the delta tail is walked once.
+// AggregateMulti computes every aggregate in aggs through the global cover
+// plan (coverplan.go): one monotone boundary sweep, one probe per unique
+// range shared by every region posting it, the delta tail inverted into the
+// range list once, and per-region folds partitioned by probe cost. COUNT/SUM
+// share the span lookups and prefix folds, MIN/MAX share the block scans.
 // One snapshot is loaded up front, so every aggregate of one call answers
 // over the same instant of the dataset.
 func (j *PointIdxJoiner) AggregateMulti(ctx context.Context, aggs []Agg, workers int) ([]Result, error) {
-	if len(aggs) == 0 {
-		return nil, fmt.Errorf("join: no aggregates requested")
+	if err := j.validateAggs(aggs); err != nil {
+		return nil, err
 	}
-	for _, a := range aggs {
-		if err := j.validate(a); err != nil {
-			return nil, err
-		}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	results := NewResults(aggs, len(j.covers))
+	if _, err := j.AggregateMultiInto(ctx, aggs, workers, results); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// AggregateMultiPerRegion is the pre-plan reference execution: every region
+// independently probes its own cover ranges and brute-scans the delta tail.
+// It is retained as the differential baseline the cover-plan execution is
+// pinned against — COUNT/MIN/MAX bit-identical, SUM/AVG identical up to the
+// delta tail's re-association — and as the benchmark head-to-head
+// (BenchmarkCoverPlan) measuring what the plan buys.
+func (j *PointIdxJoiner) AggregateMultiPerRegion(ctx context.Context, aggs []Agg, workers int) ([]Result, error) {
+	if err := j.validateAggs(aggs); err != nil {
+		return nil, err
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -364,10 +381,7 @@ func (j *PointIdxJoiner) AggregateMulti(ctx context.Context, aggs []Agg, workers
 	needs := needsOf(aggs)
 	done := ctx.Done()
 	snap := j.src.Snapshot()
-	results := make([]Result, len(aggs))
-	for k, agg := range aggs {
-		results[k] = newResult(agg, len(j.covers))
-	}
+	results := NewResults(aggs, len(j.covers))
 	shards := shardBounds(len(j.covers), workers)
 	var wg sync.WaitGroup
 	for _, sh := range shards {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"distbound/internal/geom"
 	"distbound/internal/pointstore"
@@ -40,6 +41,13 @@ type PointIdxJoiner struct {
 	covers [][]raster.PosRange // merged leaf ranges per region
 	bound  float64
 	ranges int
+
+	// plan is the global cover plan (coverplan.go): all (region, range)
+	// pairs flattened into one sorted, deduplicated range list with region
+	// postings, plus the sorted boundary-key list one monotone sweep
+	// resolves. scratch recycles the per-query workspace sized for it.
+	plan    *coverPlan
+	scratch sync.Pool
 }
 
 // NewPointIdxJoiner rasterizes every region at distance bound eps over the
@@ -78,24 +86,50 @@ func NewPointIdxJoinerCtx(ctx context.Context, regions []geom.Region, src *point
 	for _, rs := range j.covers {
 		j.ranges += len(rs)
 	}
+	j.plan = buildCoverPlan(j.covers)
+	numReg, hasW, plan := len(regions), src.HasWeights(), j.plan
+	j.scratch.New = func() any { return plan.newScratch(numReg, hasW) }
 	return j, nil
 }
 
 // Bound returns the distance bound the covers guarantee.
 func (j *PointIdxJoiner) Bound() float64 { return j.bound }
 
-// NumRanges returns the total number of merged cover ranges — the per-query
-// probe count.
+// NumRanges returns the total number of per-region merged cover ranges —
+// what the per-region reference execution probes.
 func (j *PointIdxJoiner) NumRanges() int { return j.ranges }
 
-// MemoryBytes returns the cover artifact's footprint (16 bytes per range),
-// excluding the shared dataset.
-func (j *PointIdxJoiner) MemoryBytes() int { return 16 * j.ranges }
+// NumUniqueRanges returns the size of the deduplicated global range list —
+// what the cover-plan execution probes.
+func (j *PointIdxJoiner) NumUniqueRanges() int { return len(j.plan.uniq) }
+
+// NumBoundaryProbes returns how many distinct span boundaries one query
+// resolves against the key column — the monotone sweep's length.
+func (j *PointIdxJoiner) NumBoundaryProbes() int { return len(j.plan.bkeys) }
+
+// MemoryBytes returns the cover artifact's footprint — the per-region
+// ranges (16 bytes each) plus the global cover plan — excluding the shared
+// dataset.
+func (j *PointIdxJoiner) MemoryBytes() int { return 16*j.ranges + j.plan.memoryBytes() }
 
 // validate mirrors PointSet.validate for the resident dataset.
 func (j *PointIdxJoiner) validate(agg Agg) error {
 	if agg != Count && !j.src.HasWeights() {
 		return fmt.Errorf("join: %v requires a weight column", agg)
+	}
+	return nil
+}
+
+// validateAggs checks a whole aggregate set against the dataset's weight
+// column.
+func (j *PointIdxJoiner) validateAggs(aggs []Agg) error {
+	if len(aggs) == 0 {
+		return fmt.Errorf("join: no aggregates requested")
+	}
+	for _, a := range aggs {
+		if err := j.validate(a); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -173,9 +173,12 @@ type CostModel struct {
 	// RangeProbe is the cost of one resident-store range probe: two learned-
 	// index lookups plus the prefix-sum / block-aggregate folds.
 	RangeProbe float64
-	// DeltaProbe is the cost of testing one un-compacted delta row against
-	// one region's cover ranges (a binary search over the merged ranges);
-	// a point-index query pays it DeltaPoints × regions times.
+	// DeltaProbe is the per-comparison cost of binary-searching one
+	// un-compacted delta row into the cover plan's global merged range list.
+	// The inverted delta join pays it DeltaPoints × log2(ranges) times per
+	// query — each live delta row is located once and fanned out to the
+	// regions posting its range, instead of every region re-scanning the
+	// whole delta.
 	DeltaProbe float64
 }
 
@@ -271,13 +274,17 @@ func (m CostModel) Estimate(q Query, s Strategy) Cost {
 		// store itself was built at registration and is shared by every
 		// bound, so it charges nothing here). Per run: one range probe per
 		// merged cover range — independent of the point count, which is the
-		// whole attraction for large resident datasets — plus the delta
-		// scan: every region tests every un-compacted delta row against its
-		// cover ranges, so the term grows with regions × delta rows.
+		// whole attraction for large resident datasets — plus the inverted
+		// delta join: each un-compacted delta row is binary-searched into
+		// the global merged range list once, so the term grows with
+		// delta × log(ranges), not regions × delta. That keeps the point
+		// index viable under heavy ingest; compaction still wins back the
+		// pure range-probe economy.
 		cells := 2 * st.totalPerim / cellSide
+		ranges := cells / rangeMergeFactor
 		c.Build = cells * m.TrieCellBuild
-		c.PerRun = cells/rangeMergeFactor*m.RangeProbe +
-			float64(q.DeltaPoints)*float64(st.count)*m.DeltaProbe
+		c.PerRun = ranges*m.RangeProbe +
+			float64(q.DeltaPoints)*math.Log2(ranges+2)*m.DeltaProbe
 	}
 	if q.CachedBuild[s] {
 		c.Build = 0
@@ -286,15 +293,34 @@ func (m CostModel) Estimate(q Query, s Strategy) Cost {
 	return c
 }
 
+// CoverStats describes a resident dataset's cover plan — what the
+// point-index strategy will actually execute at this bound. The zero value
+// means "no resident cover plan is built yet"; Explain prints the
+// cover-plan line only when the stats are real, never estimated.
+type CoverStats struct {
+	// Ranges is the total per-region cover range count.
+	Ranges int
+	// Unique is the size of the deduplicated global range list — the probe
+	// count one query pays.
+	Unique int
+	// Boundaries is the number of distinct span boundaries the monotone
+	// sweep resolves.
+	Boundaries int
+}
+
 // Plan is the planner's decision with its considered alternatives.
 type Plan struct {
 	Strategy Strategy
 	Costs    map[Strategy]Cost
 	// DeltaFraction is the share of a resident dataset's live points that
 	// sit in the un-compacted delta tail (0 for ad-hoc queries and freshly
-	// compacted datasets). Explain surfaces it so a plan that abandoned the
-	// point index under a bloated delta says why.
+	// compacted datasets). Explain surfaces it so a plan carrying a large
+	// delta says where its per-run cost comes from.
 	DeltaFraction float64
+	// Cover carries the resident cover plan's measured shape when its
+	// artifact is already built (the engine fills it in); Explain renders
+	// it as the cover-plan line.
+	Cover CoverStats
 }
 
 // Choose picks the cheapest strategy for q under the model — once per
@@ -304,8 +330,24 @@ type Plan struct {
 // which cannot answer extremes; the learned-index probe strategy is
 // considered only for resident datasets.
 func (m CostModel) Choose(q Query) Plan {
+	var p Plan
+	m.ChooseInto(q, &p)
+	return p
+}
+
+// ChooseInto is Choose writing into a caller-retained Plan: p.Costs is
+// cleared and refilled when present (allocated once when nil), so a serving
+// loop that recycles its Plan plans without allocating. All other fields
+// are reset.
+func (m CostModel) ChooseInto(q Query, p *Plan) {
 	q.ExtremeAgg = q.ExtremeAgg || join.ExtremeIn(q.Aggs)
-	p := Plan{Costs: map[Strategy]Cost{}}
+	if p.Costs == nil {
+		p.Costs = make(map[Strategy]Cost, 4)
+	} else {
+		clear(p.Costs)
+	}
+	p.DeltaFraction = 0
+	p.Cover = CoverStats{}
 	if q.ResidentPoints && q.NumPoints > 0 && q.DeltaPoints > 0 {
 		// DeltaPoints counts scanned delta rows, dead ones included, so it
 		// can exceed the live count (append K then delete all K); anything
@@ -316,11 +358,11 @@ func (m CostModel) Choose(q Query) Plan {
 	if !(q.Bound > 0) {
 		p.Strategy = StrategyExact
 		p.Costs[StrategyExact] = m.Estimate(q, StrategyExact)
-		return p
+		return
 	}
 	best := StrategyExact
 	bestCost := math.Inf(1)
-	for _, s := range []Strategy{StrategyExact, StrategyACT, StrategyBRJ, StrategyPointIdx} {
+	for _, s := range [...]Strategy{StrategyExact, StrategyACT, StrategyBRJ, StrategyPointIdx} {
 		if s == StrategyBRJ && q.ExtremeAgg {
 			continue
 		}
@@ -334,7 +376,6 @@ func (m CostModel) Choose(q Query) Plan {
 		}
 	}
 	p.Strategy = best
-	return p
 }
 
 // Explain renders the plan comparison for diagnostics.
@@ -360,8 +401,12 @@ func (p Plan) Explain() string {
 			out += "\n"
 		}
 	}
+	if p.Cover != (CoverStats{}) {
+		out += fmt.Sprintf("\ncover-plan: %d region-ranges → %d unique, %d boundary probes per query",
+			p.Cover.Ranges, p.Cover.Unique, p.Cover.Boundaries)
+	}
 	if p.DeltaFraction > 0 {
-		out += fmt.Sprintf("\ndelta: %.1f%% of resident points await compaction (pointidx per-run cost includes the delta scan)",
+		out += fmt.Sprintf("\ndelta: %.1f%% of resident points await compaction (pointidx per-run cost includes the inverted delta join)",
 			100*p.DeltaFraction)
 	}
 	return out

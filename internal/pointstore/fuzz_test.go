@@ -18,12 +18,28 @@ import (
 //	op%4 == 3:  check the sub-key-range carved out by b1, b2
 //
 // Weights are exact eighths, so COUNT/SUM/MIN/MAX over any range must match
-// the reference bit-for-bit at every step, pre- and post-compaction.
+// the reference bit-for-bit at every step, pre- and post-compaction. Every
+// range check also resolves its boundaries through the batch SpanMulti
+// sweep and requires it to agree with Span — the invariant the cover-plan
+// execution's boundary resolution rests on.
 func FuzzMutableOps(f *testing.F) {
 	f.Add([]byte("012345678"))
 	f.Add([]byte("\x00\x10\x20\x01\x00\x00\x02\x00\x00\x03\x40\xff"))
 	f.Add([]byte("aAzZ09!?~qwertyuiopasdfghjklzxcvbnm"))
 	f.Add([]byte("\x00\xff\xff\x00\x00\x00\x01\x00\x01\x02..\x03\x00\xff\x01\x00\x02"))
+	// Inverted-delta-join shapes. Duplicate-key delta rows (three appends of
+	// the same point land on one leaf key — a shared range boundary), then a
+	// range check straddling them:
+	f.Add([]byte("\x00\x40\x40\x00\x40\x40\x00\x40\x40\x03\x00\xff"))
+	// Delta rows tombstoned again before compaction (append, append, delete
+	// the first delta row, check, delete the second, check, compact, check):
+	f.Add([]byte("\x00\x30\x30\x00\x50\x50\x01\x00\x03\x03\x00\xff\x01\x00\x04\x03\x00\xff\x02\x00\x00\x03\x00\xff"))
+	// Empty postings / miss path: appends clustered at one corner, checks
+	// carving sub-ranges far away from them (no delta key in range):
+	f.Add([]byte("\x00\x01\x01\x00\x02\x01\x00\x01\x02\x03\xe0\xff\x03\x00\x10\x03\x80\x9f"))
+	// Append → compact → append again, so checks see base and delta rows at
+	// identical keys simultaneously:
+	f.Add([]byte("\x00\x40\x40\x02\x00\x00\x00\x40\x40\x00\x40\x41\x03\x00\xff"))
 
 	f.Fuzz(func(t *testing.T, ops []byte) {
 		d, err := sfc.NewDomain(geom.Pt(0, 0), 1024)
@@ -67,6 +83,16 @@ func FuzzMutableOps(f *testing.F) {
 			}
 			s := m.Snapshot()
 			i, j := s.Span(lo, hi)
+			// The batch boundary sweep must resolve to the same span.
+			probes := []uint64{lo}
+			if hi != math.MaxUint64 {
+				probes = append(probes, hi+1)
+			}
+			resolved := make([]int, len(probes))
+			s.SpanMulti(probes, resolved)
+			if resolved[0] != i || (len(resolved) == 2 && resolved[1] != j) {
+				t.Fatalf("range [%d,%d]: SpanMulti resolved %v, Span gave (%d,%d)", lo, hi, resolved, i, j)
+			}
 			gotCnt, gotSum := s.CountSpan(i, j), s.SumSpan(i, j)
 			gotMin, gotMax := s.MinSpan(i, j), s.MaxSpan(i, j)
 			for k, dn := 0, s.DeltaLen(); k < dn; k++ {

@@ -394,6 +394,11 @@ func (s *Snapshot) HasWeights() bool { return s.base.HasWeights() }
 // [lo, hi] — tombstoned rows included; the per-span accessors subtract them.
 func (s *Snapshot) Span(lo, hi uint64) (i, j int) { return s.base.Span(lo, hi) }
 
+// SpanMulti resolves ascending probe keys against the base column in one
+// monotone sweep; see Store.SpanMulti. Tombstones do not shift base rows, so
+// the resolved positions feed the same per-span accessors Span's do.
+func (s *Snapshot) SpanMulti(probes []uint64, out []int) { s.base.SpanMulti(probes, out) }
+
 // tombsIn returns how many tombstones fall in base rows [i, j), and the index
 // of the first one.
 func (s *Snapshot) tombsIn(i, j int) (count, first int) {

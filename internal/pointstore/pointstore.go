@@ -160,6 +160,50 @@ func (s *Store) Span(lo, hi uint64) (i, j int) {
 	return s.index.LowerBound(lo), s.index.UpperBound(hi)
 }
 
+// SpanMulti resolves a batch of probe keys against the sorted key column:
+// out[i] becomes the position of the first key ≥ probes[i] — exactly
+// LowerBound(probes[i]) — for every i. probes must be ascending (duplicates
+// allowed) and len(out) ≥ len(probes).
+//
+// Where Span pays two independent learned-index lookups per range, a batch of
+// sorted probes is resolved in one monotone sweep: each answer is ≥ the
+// previous one, so the cursor gallops forward from the last position and
+// binary-searches only the doubling window it lands in. The column is then
+// walked strictly left to right — sequential access instead of N random
+// probes — at O(Σ log gap) total comparisons, which is what makes a global
+// cover plan's boundary resolution cheaper than per-region probing even
+// before deduplication.
+func (s *Store) SpanMulti(probes []uint64, out []int) {
+	n := len(s.keys)
+	cur := 0
+	for i, k := range probes {
+		// Every position before cur holds a key < the previous probe ≤ k, so
+		// the answer can never move backward.
+		if cur >= n || s.keys[cur] >= k {
+			out[i] = cur
+			continue
+		}
+		// Gallop: find a window (lo, lo+step] with keys[lo] < k ≤ keys[lo+step].
+		lo, step := cur, 1
+		for lo+step < n && s.keys[lo+step] < k {
+			lo += step
+			step <<= 1
+		}
+		hi := min(lo+step, n)
+		// Binary search (lo, hi]: keys[lo] < k, keys[hi] ≥ k (or hi == n).
+		for lo+1 < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if s.keys[mid] < k {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		cur = hi
+		out[i] = cur
+	}
+}
+
 // CountRange returns the number of points with keys in the inclusive range
 // [lo, hi].
 func (s *Store) CountRange(lo, hi uint64) int {

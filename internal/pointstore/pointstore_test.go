@@ -3,6 +3,7 @@ package pointstore
 import (
 	"math"
 	"math/rand"
+	"sort"
 	"testing"
 
 	"distbound/internal/geom"
@@ -203,5 +204,97 @@ func TestNoWeightsStore(t *testing.T) {
 	}
 	if s.MemoryBytes() <= 8*500 {
 		t.Error("footprint misses the index")
+	}
+}
+
+// TestSpanMultiMatchesLowerBound pins the batch resolver against the
+// per-key learned-index lookup: for any ascending probe list — duplicates,
+// out-of-range keys and boundary hits included — SpanMulti must return
+// exactly LowerBound per probe.
+func TestSpanMultiMatchesLowerBound(t *testing.T) {
+	s, nv := buildBoth(t, 4000, 17, true)
+	rng := rand.New(rand.NewSource(18))
+	probes := make([]uint64, 0, 4096)
+	// Stress the sweep's regimes: dense duplicates, exact column keys,
+	// key±1 boundary probes, and far jumps.
+	for i := 0; i < 1500; i++ {
+		k := nv.keys[rng.Intn(len(nv.keys))]
+		probes = append(probes, k, k, k+1)
+	}
+	for i := 0; i < 500; i++ {
+		probes = append(probes, rng.Uint64())
+	}
+	probes = append(probes, 0, 0, math.MaxUint64)
+	sort.Slice(probes, func(a, b int) bool { return probes[a] < probes[b] })
+	out := make([]int, len(probes))
+	s.SpanMulti(probes, out)
+	for i, k := range probes {
+		want, _ := s.Span(k, math.MaxUint64)
+		if k == math.MaxUint64 {
+			// Span's UpperBound path is irrelevant; LowerBound still defined.
+			want = s.index.LowerBound(k)
+		}
+		if out[i] != want {
+			t.Fatalf("probe %d (key %d): SpanMulti %d != LowerBound %d", i, k, out[i], want)
+		}
+	}
+	// An empty store resolves everything to 0.
+	empty, err := Build(nil, nil, testDomain(t), sfc.Hilbert{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2 := make([]int, 3)
+	empty.SpanMulti([]uint64{0, 5, math.MaxUint64}, out2)
+	for i, got := range out2 {
+		if got != 0 {
+			t.Fatalf("empty store probe %d resolved to %d", i, got)
+		}
+	}
+}
+
+// TestSpanMultiSpansMatchSpan verifies range semantics end to end: spans
+// assembled from batch-resolved boundaries (Lo and Hi+1 probes) must equal
+// Span's (i, j) pair for every range, on the mutable snapshot the joiner
+// actually probes.
+func TestSpanMultiSpansMatchSpan(t *testing.T) {
+	d := testDomain(t)
+	rng := rand.New(rand.NewSource(19))
+	pts := make([]geom.Point, 3000)
+	ws := make([]float64, len(pts))
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Float64()*1024, rng.Float64()*1024)
+		ws[i] = float64(rng.Intn(100))
+	}
+	m, err := NewMutable(pts, ws, d, sfc.Hilbert{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Delete(1, 2, 3, 500) // tombstones must not shift resolved rows
+	snap := m.Snapshot()
+	type rng2 struct{ lo, hi uint64 }
+	var ranges []rng2
+	for i := 0; i < 300; i++ {
+		a, b := rng.Uint64()%(1<<40), rng.Uint64()%(1<<40)
+		if a > b {
+			a, b = b, a
+		}
+		ranges = append(ranges, rng2{a, b})
+	}
+	probes := make([]uint64, 0, 2*len(ranges))
+	for _, r := range ranges {
+		probes = append(probes, r.lo, r.hi+1)
+	}
+	sort.Slice(probes, func(a, b int) bool { return probes[a] < probes[b] })
+	out := make([]int, len(probes))
+	snap.SpanMulti(probes, out)
+	find := func(k uint64) int {
+		i := sort.Search(len(probes), func(j int) bool { return probes[j] >= k })
+		return out[i]
+	}
+	for _, r := range ranges {
+		wantI, wantJ := snap.Span(r.lo, r.hi)
+		if gotI, gotJ := find(r.lo), find(r.hi+1); gotI != wantI || gotJ != wantJ {
+			t.Fatalf("range [%d,%d]: batch span (%d,%d) != Span (%d,%d)", r.lo, r.hi, gotI, gotJ, wantI, wantJ)
+		}
 	}
 }

@@ -29,6 +29,65 @@ func Workers(requested, jobs int) int {
 	return w
 }
 
+// SplitWeighted partitions n jobs (job i carrying weight(i) ≥ 0) into at
+// most k contiguous shards of roughly equal total weight, appending
+// [lo, hi) bounds to out and returning it. Unlike an even count split, a
+// weighted split keeps one outsized job — a region with a huge cover, a
+// range spanning half the column — from serializing a whole worker behind
+// a tail of average ones: the heavy job gets a narrow shard and the light
+// jobs pack together. Jobs are never reordered or split, so a shard's work
+// is a contiguous, deterministic slice of the input regardless of k.
+//
+// Passing a reusable out slice keeps repeated splits allocation-free; nil
+// is fine.
+func SplitWeighted(n, k int, weight func(i int) int64, out [][2]int) [][2]int {
+	out = out[:0]
+	if n <= 0 {
+		return out
+	}
+	if k > n {
+		k = n
+	}
+	if k <= 1 {
+		return append(out, [2]int{0, n})
+	}
+	var total int64
+	for i := 0; i < n; i++ {
+		total += weight(i)
+	}
+	if total <= 0 {
+		// Weightless jobs degenerate to the even count split.
+		for s := 0; s < k; s++ {
+			lo, hi := n*s/k, n*(s+1)/k
+			if lo < hi {
+				out = append(out, [2]int{lo, hi})
+			}
+		}
+		return out
+	}
+	// Midpoint rule: a job whose weight midpoint falls in the s-th of k equal
+	// weight intervals belongs to shard s. Midpoints are non-decreasing in i,
+	// so shards come out contiguous; an outsized job lands alone in its shard
+	// because its midpoint consumes the whole interval.
+	lo, cum, cur := 0, int64(0), 0
+	for i := 0; i < n; i++ {
+		w := weight(i)
+		s := int((2*cum + w) * int64(k) / (2 * total))
+		if s >= k {
+			s = k - 1
+		}
+		if s != cur {
+			if lo < i {
+				out = append(out, [2]int{lo, i})
+				lo = i
+			}
+			cur = s
+		}
+		cum += w
+	}
+	return append(out, [2]int{lo, n})
+}
+
 // Run invokes fn(worker, job) for every job index in [0, n) across the
 // given number of workers. fn's worker argument lies in [0, workers):
 // callers index worker-local accumulators with it and merge after Run

@@ -146,3 +146,72 @@ func TestRunCtxNoCancelBehavesLikeRun(t *testing.T) {
 		t.Errorf("ran %d of 50 jobs", ran.Load())
 	}
 }
+
+// TestSplitWeighted pins the cost-weighted shard assignment: contiguous
+// cover of all jobs, at most k shards, and — the reason it exists — an
+// outsized job isolated in its own narrow shard instead of dragging an
+// equal count of siblings behind it.
+func TestSplitWeighted(t *testing.T) {
+	check := func(label string, n, k int, got [][2]int) {
+		t.Helper()
+		if len(got) > k {
+			t.Fatalf("%s: %d shards for k=%d", label, len(got), k)
+		}
+		next := 0
+		for _, sh := range got {
+			if sh[0] != next || sh[1] <= sh[0] {
+				t.Fatalf("%s: shards not a contiguous cover: %v", label, got)
+			}
+			next = sh[1]
+		}
+		if n > 0 && next != n {
+			t.Fatalf("%s: shards end at %d, want %d: %v", label, next, n, got)
+		}
+		if n == 0 && len(got) != 0 {
+			t.Fatalf("%s: non-empty shards for zero jobs", label)
+		}
+	}
+	unit := func(int) int64 { return 1 }
+
+	check("empty", 0, 4, SplitWeighted(0, 4, unit, nil))
+	check("k>n", 3, 8, SplitWeighted(3, 8, unit, nil))
+	check("k=1", 5, 1, SplitWeighted(5, 1, unit, nil))
+
+	// Uniform weights degenerate to the even count split.
+	got := SplitWeighted(8, 4, unit, nil)
+	check("uniform", 8, 4, got)
+	for _, sh := range got {
+		if sh[1]-sh[0] != 2 {
+			t.Fatalf("uniform split uneven: %v", got)
+		}
+	}
+
+	// All-zero weights must not divide by zero and still cover every job.
+	check("zero-weights", 6, 3, SplitWeighted(6, 3, func(int) int64 { return 0 }, nil))
+
+	// One giant job among many small ones: the giant gets a shard of its
+	// own, wherever it sits.
+	for _, giantAt := range []int{0, 7, 15} {
+		w := func(i int) int64 {
+			if i == giantAt {
+				return 1000
+			}
+			return 1
+		}
+		got := SplitWeighted(16, 4, w, nil)
+		check("giant", 16, 4, got)
+		for _, sh := range got {
+			if giantAt >= sh[0] && giantAt < sh[1] && sh[1]-sh[0] != 1 {
+				t.Errorf("giant at %d shares shard %v with light jobs: %v", giantAt, sh, got)
+			}
+		}
+	}
+
+	// Reusing the out slice keeps repeated splits allocation-free.
+	buf := make([][2]int, 0, 8)
+	if allocs := testing.AllocsPerRun(100, func() {
+		buf = SplitWeighted(16, 4, unit, buf[:0])
+	}); allocs > 0 {
+		t.Errorf("reused split allocates %.1f per call", allocs)
+	}
+}

@@ -1,0 +1,9 @@
+//go:build race
+
+package distbound
+
+// raceEnabled reports whether this test binary was built with -race. The
+// race detector deliberately randomizes sync.Pool reuse (dropping Puts to
+// widen the interleavings it can observe), so allocation counts and
+// storage-recycling assertions are meaningless under it and are skipped.
+const raceEnabled = true

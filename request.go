@@ -76,10 +76,81 @@ type Response struct {
 	Build time.Duration
 	// Wall is the request's total execution time.
 	Wall time.Duration
+	// RangesProbed counts the unique cover-plan ranges the request resolved
+	// against the resident key column; DeltaProbed counts the live delta
+	// rows searched into the range list. Both are 0 for strategies other
+	// than pointidx — the probe economy they meter is the resident path's.
+	RangesProbed int
+	// DeltaProbed — see RangesProbed.
+	DeltaProbed int
 	// Err is the per-request outcome in DoBatch (a failed request never
 	// aborts its siblings). Do reports errors through its error return
 	// instead and leaves Err nil.
 	Err error
+
+	// scratch is the engine-pooled backing storage behind Results and
+	// Plan.Costs; Release hands it back.
+	scratch *respScratch
+}
+
+// Release returns the Response's backing storage — the result columns and
+// plan tables — to its engine for reuse by later requests, making a warm
+// resident serving loop allocation-free. After Release the Response's
+// Results and Plan must not be touched: a later request may be writing into
+// them. Releasing is optional (an unreleased Response is ordinary garbage),
+// a released zero Response is a no-op, and each Response must be released
+// at most once, from one copy of it.
+func (r *Response) Release() {
+	sc := r.scratch
+	if sc == nil {
+		return
+	}
+	r.scratch = nil
+	r.Results = nil
+	r.Plan = Plan{}
+	sc.e.scratch.Put(sc)
+}
+
+// respScratch is the reusable backing storage of one in-flight request:
+// the planner's maps and the per-aggregate result columns, sized once for
+// the engine's region count and recycled through Engine.scratch.
+type respScratch struct {
+	e      *Engine
+	cached map[Strategy]bool
+	plan   planner.Plan // retains the Costs map across uses
+	out    []Result
+	counts [][]int64   // one column per aggregate slot
+	floats [][]float64 // Sums/Extremes column per aggregate slot
+}
+
+// prepResults shapes the scratch's result slots for an aggregate set: every
+// column is engine-region sized and fully overwritten by the fold, so no
+// clearing is needed.
+func (sc *respScratch) prepResults(aggs []Agg, numReg int) []Result {
+	for len(sc.counts) < len(aggs) {
+		sc.counts = append(sc.counts, make([]int64, numReg))
+		sc.floats = append(sc.floats, nil)
+	}
+	if cap(sc.out) < len(aggs) {
+		sc.out = make([]Result, len(aggs))
+	}
+	sc.out = sc.out[:len(aggs)]
+	for k, agg := range aggs {
+		r := Result{Agg: agg, Counts: sc.counts[k]}
+		if agg != Count {
+			if sc.floats[k] == nil {
+				sc.floats[k] = make([]float64, numReg)
+			}
+			switch agg {
+			case Sum, Avg:
+				r.Sums = sc.floats[k]
+			default:
+				r.Extremes = sc.floats[k]
+			}
+		}
+		sc.out[k] = r
+	}
+	return sc.out
 }
 
 // normalizeRequest validates req and applies the shared normalization every
@@ -135,19 +206,34 @@ func checkOverride(req Request) error {
 // repetition count (DoBatch adds same-bound sharing credit on top of the
 // request's own). For a dataset target the point count and delta size come
 // from one snapshot, so the plan reflects a consistent instant of a dataset
-// under concurrent mutation.
-func (e *Engine) planRequest(req Request, reps int) Plan {
+// under concurrent mutation. A non-nil scratch lends the planner its maps,
+// making a warm plan allocation-free; the returned Plan then shares them
+// until the scratch's Response is released.
+func (e *Engine) planRequest(req Request, reps int, sc *respScratch) Plan {
+	var cached map[Strategy]bool
+	planBuf := &planner.Plan{}
+	if sc != nil {
+		cached, planBuf = sc.cached, &sc.plan
+	}
 	q := planner.Query{
 		Regions:     e.regions,
 		Bound:       req.Bound,
 		Repetitions: reps,
 		Aggs:        req.Aggs,
-		CachedBuild: e.cachedBuilds(req.Bound),
+		CachedBuild: e.cachedBuildsInto(req.Bound, cached),
 		Stats:       &e.stats,
 	}
+	var cover planner.CoverStats
 	if ds := req.Dataset; ds != nil {
-		if e.pidx.ContainsReady(pidxKey{src: ds.src, bound: req.Bound}) {
+		if j, ok := e.pidx.PeekReady(pidxKey{src: ds.src, bound: req.Bound}); ok {
 			q.CachedBuild[StrategyPointIdx] = true
+			// The resident artifact knows the real cover-plan shape; surface
+			// it so Explain reports what a pointidx run will actually probe.
+			cover = planner.CoverStats{
+				Ranges:     j.NumRanges(),
+				Unique:     j.NumUniqueRanges(),
+				Boundaries: j.NumBoundaryProbes(),
+			}
 		}
 		snap := ds.src.Snapshot()
 		q.NumPoints = snap.LiveLen()
@@ -156,7 +242,9 @@ func (e *Engine) planRequest(req Request, reps int) Plan {
 	} else {
 		q.NumPoints = len(req.Points.Pts)
 	}
-	return e.costModel().Choose(q)
+	e.costModel().ChooseInto(q, planBuf)
+	planBuf.Cover = cover
+	return *planBuf
 }
 
 // Do answers one request: it plans once for the whole aggregate set, builds
@@ -171,8 +259,9 @@ func (e *Engine) Do(ctx context.Context, req Request) (Response, error) {
 	if err != nil {
 		return Response{}, err
 	}
-	plan := e.planRequest(req, req.Repetitions)
-	resp := Response{Strategy: plan.Strategy, Plan: plan}
+	resp := Response{scratch: e.getScratch()}
+	plan := e.planRequest(req, req.Repetitions, resp.scratch)
+	resp.Strategy, resp.Plan = plan.Strategy, plan
 	if req.Strategy != nil {
 		resp.Strategy = *req.Strategy
 	}
@@ -183,9 +272,12 @@ func (e *Engine) Do(ctx context.Context, req Request) (Response, error) {
 	if workers <= 0 {
 		workers = e.Workers()
 	}
-	resp.Results, resp.Build, err = e.executeMulti(ctx, req, resp.Strategy, workers)
+	err = e.executeMulti(ctx, req, resp.Strategy, workers, &resp)
 	resp.Wall = time.Since(start)
 	if err != nil {
+		// The failed response still references the scratch's plan tables, so
+		// it is not recycled — Release on an errored response is a no-op.
+		resp.scratch = nil
 		return resp, canceledAs(ctx, err)
 	}
 	return resp, nil
@@ -264,13 +356,17 @@ func (e *Engine) DoBatch(ctx context.Context, reqs []Request, workers int) ([]Re
 
 	// Plan before executing anything: plans then reflect the batch-entry
 	// cache state instead of whatever builds happen to finish mid-batch,
-	// which would make strategy choice depend on worker interleaving.
+	// which would make strategy choice depend on worker interleaving. Each
+	// valid request borrows a pooled scratch here and keeps it through
+	// execution, so batched warm resident requests reuse backing storage
+	// exactly as Do's do.
 	strategies := make([]Strategy, len(reqs))
 	for i := range reqs {
 		if !valid[i] {
 			continue
 		}
-		plan := e.planRequest(norm[i], norm[i].Repetitions+sharing[keyOf(reqs[i])]-1)
+		resps[i].scratch = e.getScratch()
+		plan := e.planRequest(norm[i], norm[i].Repetitions+sharing[keyOf(reqs[i])]-1, resps[i].scratch)
 		resps[i].Plan = plan
 		strategies[i] = plan.Strategy
 		if norm[i].Strategy != nil {
@@ -291,12 +387,11 @@ func (e *Engine) DoBatch(ctx context.Context, reqs []Request, workers int) ([]Re
 		if w <= 0 {
 			w = 1
 		}
-		results, build, err := e.executeMulti(ctx, norm[i], strategies[i], w)
-		resps[i].Results = results
-		resps[i].Build = build
+		err := e.executeMulti(ctx, norm[i], strategies[i], w, &resps[i])
 		resps[i].Wall = time.Since(t0)
 		if err != nil {
 			resps[i].Err = canceledAs(ctx, err)
+			resps[i].scratch = nil // failed responses keep their plan tables
 		}
 		// Per-request failures land in Err rather than aborting the pool, so
 		// one bad request never drops its siblings.
@@ -306,6 +401,7 @@ func (e *Engine) DoBatch(ctx context.Context, reqs []Request, workers int) ([]Re
 		for i := range resps {
 			if valid[i] && resps[i].Results == nil && resps[i].Err == nil {
 				resps[i].Err = err
+				resps[i].scratch = nil // failed responses keep their plan tables
 			}
 		}
 		return resps, err
@@ -314,20 +410,35 @@ func (e *Engine) DoBatch(ctx context.Context, reqs []Request, workers int) ([]Re
 }
 
 // executeMulti runs one normalized request's aggregate set on a fixed
-// strategy: one artifact acquisition, one multi-aggregate fold. The returned
-// duration is the artifact-acquisition share of the run.
-func (e *Engine) executeMulti(ctx context.Context, req Request, strategy Strategy, workers int) ([]Result, time.Duration, error) {
+// strategy — one artifact acquisition, one multi-aggregate fold — writing
+// Results, Build and the probe counters into resp. The pointidx path folds
+// into resp's pooled scratch columns (allocating fresh ones only when resp
+// carries no scratch), which is what keeps the warm resident path
+// allocation-free.
+func (e *Engine) executeMulti(ctx context.Context, req Request, strategy Strategy, workers int, resp *Response) error {
 	ps := req.Points
 	if ds := req.Dataset; ds != nil {
 		if strategy == StrategyPointIdx {
 			tb := time.Now()
 			j, err := e.pointIdxJoinerCtx(ctx, ds, req.Bound, workers)
-			build := time.Since(tb)
+			resp.Build = time.Since(tb)
 			if err != nil {
-				return nil, build, err
+				return err
 			}
-			results, err := j.AggregateMulti(ctx, req.Aggs, workers)
-			return results, build, err
+			var results []Result
+			if resp.scratch != nil {
+				results = resp.scratch.prepResults(req.Aggs, len(e.regions))
+			} else {
+				results = join.NewResults(req.Aggs, len(e.regions))
+			}
+			stats, err := j.AggregateMultiInto(ctx, req.Aggs, workers, results)
+			if err != nil {
+				return err
+			}
+			resp.Results = results
+			resp.RangesProbed = stats.RangesProbed
+			resp.DeltaProbed = stats.DeltaProbed
+			return nil
 		}
 		// Streaming strategies consume the dataset's materialized live points
 		// — the same survivors the point-index strategy serves from
@@ -343,28 +454,31 @@ func (e *Engine) executeMulti(ctx context.Context, req Request, strategy Strateg
 		// caller who does pay it should see it in Build.
 		tb := time.Now()
 		j := e.exactJoiner()
-		build := time.Since(tb)
+		resp.Build = time.Since(tb)
 		results, err := j.AggregateMulti(ctx, ps, req.Aggs, workers)
-		return results, build, err
+		resp.Results = results
+		return err
 	case StrategyACT:
 		tb := time.Now()
 		aj, err := e.actJoinerCtx(ctx, req.Bound)
-		build := time.Since(tb)
+		resp.Build = time.Since(tb)
 		if err != nil {
-			return nil, build, err
+			return err
 		}
 		results, err := aj.AggregateMulti(ctx, ps, req.Aggs, workers)
-		return results, build, err
+		resp.Results = results
+		return err
 	case StrategyBRJ:
 		tb := time.Now()
 		bj, err := e.brjJoinerCtx(ctx, req.Bound, workers)
-		build := time.Since(tb)
+		resp.Build = time.Since(tb)
 		if err != nil {
-			return nil, build, err
+			return err
 		}
 		results, err := bj.AggregateMulti(ctx, ps, req.Aggs, workers)
-		return results, build, err
+		resp.Results = results
+		return err
 	default:
-		return nil, 0, fmt.Errorf("distbound: unknown strategy %v", strategy)
+		return fmt.Errorf("distbound: unknown strategy %v", strategy)
 	}
 }
