@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -69,6 +70,10 @@ func runIngest(cfg loadConfig) error {
 		start        = make(chan struct{})
 	)
 	deadline := time.Now().Add(cfg.duration)
+	// Readers thread the run deadline into the engine so a query in flight
+	// when the run ends is cancelled through the real request chain.
+	ctx, cancel := context.WithDeadline(context.Background(), deadline)
+	defer cancel()
 
 	// Writer: streams the reserve in, deleting a quarter of every eighth
 	// batch to exercise tombstones, and wrapping around if the reserve runs
@@ -126,13 +131,22 @@ func runIngest(cfg loadConfig) error {
 			for i := 0; !stop.Load(); i++ {
 				bound := posBounds[(c+i)%len(posBounds)]
 				t0 := time.Now()
-				_, strat, err := e.AggregateDataset(ds, cfg.agg, bound, cfg.repetitions)
+				resp, err := e.Do(ctx, distbound.Request{
+					Dataset:     ds,
+					Aggs:        []distbound.Agg{cfg.agg},
+					Bound:       bound,
+					Repetitions: cfg.repetitions,
+				})
 				if err != nil {
-					readerErrs[c] = err
+					// The deadline expiring mid-query ends the run cleanly.
+					if ctx.Err() == nil {
+						readerErrs[c] = err
+					}
 					return
 				}
 				st.latencies = append(st.latencies, time.Since(t0))
-				st.strategies[strat]++
+				st.strategies[resp.Strategy]++
+				resp.Release()
 			}
 		}(c)
 	}

@@ -567,6 +567,12 @@ func runLoad(cfg loadConfig) error {
 	var wg sync.WaitGroup
 	start := make(chan struct{})
 	deadline := time.Now().Add(cfg.duration)
+	// The load context carries the run deadline into the engine: a query
+	// still in flight when the bench ends is cancelled through the same
+	// chain a real serving deadline would use, instead of running to
+	// completion against a detached background context.
+	ctx, cancel := context.WithDeadline(context.Background(), deadline)
+	defer cancel()
 
 	for c := 0; c < cfg.concurrency; c++ {
 		wg.Add(1)
@@ -581,52 +587,67 @@ func runLoad(cfg loadConfig) error {
 			<-start
 			for i := 0; time.Now().Before(deadline); i++ {
 				if cfg.batch > 0 {
-					queries := make([]distbound.BatchQuery, cfg.batch)
-					for q := range queries {
-						queries[q] = distbound.BatchQuery{
-							Agg:         cfg.agg,
+					reqs := make([]distbound.Request, cfg.batch)
+					for q := range reqs {
+						reqs[q] = distbound.Request{
+							Aggs:        []distbound.Agg{cfg.agg},
 							Bound:       cfg.bounds[(c+i+q)%len(cfg.bounds)],
 							Repetitions: cfg.repetitions,
 						}
 						if cfg.resident {
-							queries[q].Dataset = ds
+							reqs[q].Dataset = ds
 						} else {
-							queries[q].Points = cfg.querySlice(pool, rng)
+							reqs[q].Points = cfg.querySlice(pool, rng)
 						}
 					}
 					t0 := time.Now()
-					results := e.AggregateBatch(queries, cfg.workers)
+					resps, err := e.DoBatch(ctx, reqs, cfg.workers)
 					el := time.Since(t0)
-					for _, r := range results {
+					if err != nil {
+						// The deadline expiring mid-batch is the clean end of
+						// the run, not a client failure.
+						if ctx.Err() == nil {
+							clientErrs[c] = err
+						}
+						return
+					}
+					for q := range resps {
+						r := &resps[q]
 						if r.Err != nil {
-							clientErrs[c] = r.Err
+							if ctx.Err() == nil {
+								clientErrs[c] = r.Err
+							}
 							return
 						}
 						// Per-query latency inside a batch is the batch
 						// latency: callers wait for the whole batch.
 						st.latencies = append(st.latencies, el)
 						st.strategies[r.Strategy]++
+						r.Release()
 					}
 				} else {
 					bound := cfg.bounds[(c+i)%len(cfg.bounds)]
-					var (
-						strat distbound.Strategy
-						err   error
-						t0    = time.Now()
-					)
-					if cfg.resident {
-						_, strat, err = e.AggregateDataset(ds, cfg.agg, bound, cfg.repetitions)
-					} else {
-						ps := cfg.querySlice(pool, rng)
-						t0 = time.Now()
-						_, strat, err = e.Aggregate(ps, cfg.agg, bound, cfg.repetitions)
+					req := distbound.Request{
+						Aggs:        []distbound.Agg{cfg.agg},
+						Bound:       bound,
+						Repetitions: cfg.repetitions,
 					}
+					if cfg.resident {
+						req.Dataset = ds
+					} else {
+						req.Points = cfg.querySlice(pool, rng)
+					}
+					t0 := time.Now()
+					resp, err := e.Do(ctx, req)
 					if err != nil {
-						clientErrs[c] = err
+						if ctx.Err() == nil {
+							clientErrs[c] = err
+						}
 						return
 					}
 					st.latencies = append(st.latencies, time.Since(t0))
-					st.strategies[strat]++
+					st.strategies[resp.Strategy]++
+					resp.Release()
 				}
 			}
 		}(c)

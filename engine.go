@@ -92,6 +92,8 @@ type Engine struct {
 }
 
 // getScratch hands out a pooled respScratch bound to this engine.
+//
+//distbound:allow-scratch-escape pool accessor; Do pairs every get with Release
 func (e *Engine) getScratch() *respScratch {
 	if sc, ok := e.scratch.Get().(*respScratch); ok {
 		return sc
@@ -223,6 +225,8 @@ func (e *Engine) cachedBuildsInto(bound float64, m map[Strategy]bool) map[Strate
 //
 // Deprecated: use Do with Request.Explain (Response.Plan carries the same
 // decision); PlanFor cannot express aggregate sets or per-request overrides.
+//
+//distbound:allow-background deprecated context-free API; callers hold no context to thread
 func (e *Engine) PlanFor(numPoints int, agg Agg, bound float64, repetitions int) planner.Plan {
 	return e.costModel().Choose(planner.Query{
 		NumPoints:   numPoints,
@@ -240,6 +244,8 @@ func (e *Engine) PlanFor(numPoints int, agg Agg, bound float64, repetitions int)
 //
 // Deprecated: use Do with Request.Explain; Response.Plan carries the same
 // decision.
+//
+//distbound:allow-background deprecated context-free API; callers hold no context to thread
 func (e *Engine) Plan(numPoints int, bound float64, repetitions int) planner.Plan {
 	return e.PlanFor(numPoints, Count, bound, repetitions)
 }
@@ -490,6 +496,8 @@ func (e *Engine) checkDataset(ds *Dataset) error {
 //
 // Deprecated: use Do with a Dataset-target Request and Request.Explain;
 // Response.Plan carries the same decision.
+//
+//distbound:allow-background deprecated context-free API; callers hold no context to thread
 func (e *Engine) PlanForDataset(ds *Dataset, agg Agg, bound float64, repetitions int) (planner.Plan, error) {
 	if err := e.checkDataset(ds); err != nil {
 		return planner.Plan{}, err
@@ -506,6 +514,8 @@ func (e *Engine) PlanForDataset(ds *Dataset, agg Agg, bound float64, repetitions
 //
 // Deprecated: use Do with a Dataset-target Request — it additionally
 // expresses cancellation, aggregate sets, and per-request overrides.
+//
+//distbound:allow-background deprecated context-free API; callers hold no context to thread
 func (e *Engine) AggregateDataset(ds *Dataset, agg Agg, bound float64, repetitions int) (Result, Strategy, error) {
 	// A nil handle must fail here: a Request with a nil Dataset legitimately
 	// means an ad-hoc (empty) Points query, which is not what this caller
@@ -554,6 +564,8 @@ func (e *Engine) pointIdxJoinerCtx(ctx context.Context, ds *Dataset, bound float
 //
 // Deprecated: use Do — it additionally expresses cancellation, aggregate
 // sets, and per-request overrides.
+//
+//distbound:allow-background deprecated context-free API; callers hold no context to thread
 func (e *Engine) Aggregate(ps PointSet, agg Agg, bound float64, repetitions int) (Result, Strategy, error) {
 	resp, err := e.Do(context.Background(), Request{
 		Points:      ps,
@@ -653,6 +665,8 @@ type BatchResult struct {
 //
 // Deprecated: use DoBatch — it additionally expresses cancellation,
 // aggregate sets, and per-request overrides.
+//
+//distbound:allow-background deprecated context-free API; callers hold no context to thread
 func (e *Engine) AggregateBatch(queries []BatchQuery, workers int) []BatchResult {
 	reqs := make([]Request, len(queries))
 	for i, q := range queries {
@@ -689,6 +703,8 @@ func (e *Engine) CacheStats() (act, brj, cover cache.Stats) {
 //
 // Deprecated: use Do with Request.Explain; Response.Explain carries the
 // same rendering.
+//
+//distbound:allow-background deprecated context-free API; callers hold no context to thread
 func (e *Engine) ExplainFor(numPoints int, agg Agg, bound float64, repetitions int) string {
 	return e.PlanFor(numPoints, agg, bound, repetitions).Explain()
 }
@@ -697,6 +713,8 @@ func (e *Engine) ExplainFor(numPoints int, agg Agg, bound float64, repetitions i
 //
 // Deprecated: use Do with Request.Explain; Response.Explain carries the
 // same rendering.
+//
+//distbound:allow-background deprecated context-free API; callers hold no context to thread
 func (e *Engine) Explain(numPoints int, bound float64, repetitions int) string {
 	return e.ExplainFor(numPoints, Count, bound, repetitions)
 }
@@ -708,6 +726,8 @@ func (e *Engine) Explain(numPoints int, bound float64, repetitions int) string {
 //
 // Deprecated: use Do with a Dataset-target Request and Request.Explain;
 // Response.Explain carries the same rendering.
+//
+//distbound:allow-background deprecated context-free API; callers hold no context to thread
 func (e *Engine) ExplainDataset(ds *Dataset, agg Agg, bound float64, repetitions int) (string, error) {
 	plan, err := e.PlanForDataset(ds, agg, bound, repetitions)
 	if err != nil {

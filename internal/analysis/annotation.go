@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// AnnotationPrefix introduces a distbound analyzer directive. Directives are
+// written like compiler directives — no space after the slashes — in the doc
+// comment of the declaration they govern:
+//
+//	//distbound:noalloc
+//	//distbound:allow-background compat wrapper; callers hold no context
+const AnnotationPrefix = "distbound:"
+
+// Annotation is one parsed //distbound: directive.
+type Annotation struct {
+	// Name is the directive name ("noalloc", "allow-background", ...).
+	Name string
+	// Reason is the free text after the name; the allow-* suppressions
+	// require one so every exemption is justified at the site.
+	Reason string
+}
+
+// parseAnnotations extracts the //distbound: directives of one comment group.
+func parseAnnotations(doc *ast.CommentGroup) []Annotation {
+	if doc == nil {
+		return nil
+	}
+	var out []Annotation
+	for _, c := range doc.List {
+		text, ok := strings.CutPrefix(c.Text, "//"+AnnotationPrefix)
+		if !ok {
+			continue
+		}
+		name, reason, _ := strings.Cut(text, " ")
+		out = append(out, Annotation{Name: name, Reason: strings.TrimSpace(reason)})
+	}
+	return out
+}
+
+// FuncAnnotation looks up the named directive on a function declaration's
+// doc comment. It reports whether the directive is present; the returned
+// Annotation carries the reason text (possibly empty).
+func FuncAnnotation(fd *ast.FuncDecl, name string) (Annotation, bool) {
+	for _, a := range parseAnnotations(fd.Doc) {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return Annotation{}, false
+}
+
+// DeclAnnotation is FuncAnnotation for any top-level declaration (functions
+// and annotated var/const/type groups).
+func DeclAnnotation(decl ast.Decl, name string) (Annotation, bool) {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		return FuncAnnotation(d, name)
+	case *ast.GenDecl:
+		for _, a := range parseAnnotations(d.Doc) {
+			if a.Name == name {
+				return a, true
+			}
+		}
+	}
+	return Annotation{}, false
+}
+
+// EnclosingFunc returns the innermost FuncDecl of file whose body spans pos,
+// or nil. Annotations attach to declarations, so a finding inside a function
+// is suppressed by directives on that function.
+func EnclosingFunc(file *ast.File, pos ast.Node) *ast.FuncDecl {
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		if fd.Pos() <= pos.Pos() && pos.Pos() < fd.End() {
+			return fd
+		}
+	}
+	return nil
+}

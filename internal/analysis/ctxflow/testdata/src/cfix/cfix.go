@@ -1,0 +1,26 @@
+// Package cfix exercises the ctxflow library-code rules.
+package cfix
+
+import "context"
+
+func bad() context.Context {
+	return context.Background() // want `severs the cancellation chain`
+}
+
+func alsoBad() context.Context {
+	return context.TODO() // want `severs the cancellation chain`
+}
+
+//distbound:allow-background compat wrapper; callers hold no context
+func allowed() context.Context {
+	return context.Background()
+}
+
+//distbound:allow-background
+func noReason() context.Context { // want `requires a reason`
+	return context.Background()
+}
+
+func threaded(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithCancel(ctx)
+}

@@ -1,0 +1,10 @@
+// Command tool verifies the cmd/ exemption: commands own their contexts, so
+// context.Background() here produces no diagnostic.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	_ = ctx
+}

@@ -1,0 +1,333 @@
+// Package noalloc verifies the warm-path zero-allocation contract. The
+// resident query path advertises 0 allocs/op; that property is enforced today
+// only by a benchmark that somebody has to run. Functions annotated
+// //distbound:noalloc declare membership in the warm path, and this analyzer
+// rejects constructs that force heap allocation:
+//
+//   - make() of slices, maps and channels
+//   - new(T)
+//   - composite literals that allocate: slice and map literals, and &T{}
+//     (plain struct and array literals are stack values and pass)
+//   - append() whose result does not feed back into the appended slice
+//     rooted at a parameter or receiver — growth into pooled storage is the
+//     sanctioned pattern, growth into fresh storage is not
+//   - function literals except as a direct call argument (an argument
+//     closure can stay on the stack; one stored to a variable or returned
+//     escapes)
+//   - string concatenation and fmt.Sprintf-style calls
+//
+// The check is syntactic, deliberately stricter than the escape analyzer: a
+// construct the compiler might sometimes keep on the stack is still a
+// liability on a path that promises zero allocations per op. One exemption
+// keeps lazy pool-fill idioms legal: an allocation whose enclosing if
+// condition nil-checks something is a cold branch (first-use fill) and is
+// skipped.
+package noalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"distbound/internal/analysis"
+)
+
+// Annotation marks a function as warm-path: //distbound:noalloc.
+const Annotation = "noalloc"
+
+// Analyzer is the noalloc analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "noalloc",
+	Doc:  "reject allocation-forcing constructs in functions annotated //distbound:noalloc",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if _, ok := analysis.FuncAnnotation(fd, Annotation); !ok {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil, nil
+}
+
+// checkFunc walks one annotated function body flagging allocation sites.
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	pooled := pooledRoots(fd)
+
+	// coldBranch tracks if-statements whose condition nil-checks something:
+	// allocations inside them are first-use pool fills, not per-op costs.
+	var cold []ast.Node
+	inCold := func(n ast.Node) bool {
+		for _, c := range cold {
+			if c.Pos() <= n.Pos() && n.End() <= c.End() {
+				return true
+			}
+		}
+		return false
+	}
+
+	// directArg collects function literals passed directly to a call: those
+	// may stay on the stack and are allowed, though their bodies are still
+	// subject to every other rule (the walk descends into them normally).
+	directArg := map[*ast.FuncLit]bool{}
+
+	// sanctioned records append calls blessed by checkAppends (self-assign
+	// into a pooled root) so the second sweep skips them.
+	sanctioned := map[*ast.CallExpr]bool{}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			if condChecksNil(n.Cond) {
+				cold = append(cold, n.Body)
+			}
+			return true
+
+		case *ast.CallExpr:
+			switch fun := ast.Unparen(n.Fun).(type) {
+			case *ast.Ident:
+				switch {
+				case isBuiltin(pass, fun, "make"), isBuiltin(pass, fun, "new"):
+					if !inCold(n) {
+						pass.Reportf(n.Pos(), "%s() allocates in //distbound:noalloc function %s", fun.Name, fd.Name.Name)
+					}
+				}
+			case *ast.SelectorExpr:
+				if pkg, ok := pkgOf(pass, fun); ok && pkg == "fmt" && !inCold(n) {
+					pass.Reportf(n.Pos(), "fmt.%s allocates in //distbound:noalloc function %s", fun.Sel.Name, fd.Name.Name)
+				}
+			}
+			// Function literals are legal only as direct call arguments.
+			for _, arg := range n.Args {
+				if fl, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+					directArg[fl] = true
+				}
+			}
+			return true
+
+		case *ast.FuncLit:
+			// A literal that is not a direct call argument is stored,
+			// returned or assigned, and escapes.
+			if !directArg[n] && !inCold(n) {
+				pass.Reportf(n.Pos(),
+					"function literal escapes in //distbound:noalloc function %s; closures allocate unless passed directly to a call",
+					fd.Name.Name)
+			}
+			return true
+
+		case *ast.CompositeLit:
+			if allocatingLiteral(pass, n, false) && !inCold(n) {
+				pass.Reportf(n.Pos(), "composite literal allocates in //distbound:noalloc function %s", fd.Name.Name)
+				return false // one report covers nested element literals
+			}
+			return true // stack literal: still descend for allocating elements
+
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if cl, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					if !inCold(n) {
+						pass.Reportf(n.Pos(), "&%s{} literal allocates in //distbound:noalloc function %s",
+							types.ExprString(cl.Type), fd.Name.Name)
+					}
+					return false
+				}
+			}
+			return true
+
+		case *ast.AssignStmt:
+			checkAppends(pass, n, pooled, sanctioned)
+			return true
+
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringType(pass, n) && !inCold(n) {
+				pass.Reportf(n.Pos(), "string concatenation allocates in //distbound:noalloc function %s", fd.Name.Name)
+			}
+			return true
+		}
+		return true
+	})
+
+	// A bare append whose result is discarded or fed elsewhere is caught
+	// here: scan expression statements and non-assign uses.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || !isBuiltin(pass, id, "append") {
+			return true
+		}
+		if !sanctioned[call] && !inCold(call) {
+			pass.Reportf(call.Pos(),
+				"append() result not reassigned to a pooled slice in //distbound:noalloc function %s; growth allocates fresh storage",
+				fd.Name.Name)
+		}
+		return true
+	})
+}
+
+// checkAppends blesses `x = append(x, ...)` when x is rooted at a parameter
+// or receiver — growth lands in caller/pool-owned storage whose capacity the
+// warm path pre-sizes. Anything else is left for the sweep to flag.
+func checkAppends(pass *analysis.Pass, as *ast.AssignStmt, pooled map[string]bool, sanctioned map[*ast.CallExpr]bool) {
+	for i, rhs := range as.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || !isBuiltin(pass, id, "append") || len(call.Args) == 0 {
+			continue
+		}
+		if i >= len(as.Lhs) {
+			continue
+		}
+		lhs := types.ExprString(as.Lhs[i])
+		arg0 := types.ExprString(call.Args[0])
+		if lhs == arg0 && rootedAt(as.Lhs[i], pooled) {
+			sanctioned[call] = true
+		}
+	}
+}
+
+// pooledRoots collects the names of fd's parameters and receiver: slices
+// reached through them are caller-owned (pooled) storage.
+func pooledRoots(fd *ast.FuncDecl) map[string]bool {
+	roots := map[string]bool{}
+	if fd.Recv != nil {
+		for _, f := range fd.Recv.List {
+			for _, n := range f.Names {
+				roots[n.Name] = true
+			}
+		}
+	}
+	if fd.Type.Params != nil {
+		for _, f := range fd.Type.Params.List {
+			for _, n := range f.Names {
+				roots[n.Name] = true
+			}
+		}
+	}
+	return roots
+}
+
+// rootedAt reports whether expr's base identifier (after stripping selectors
+// and indexes) is one of the given roots.
+func rootedAt(expr ast.Expr, roots map[string]bool) bool {
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.Ident:
+			return roots[e.Name]
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		default:
+			return false
+		}
+	}
+}
+
+// allocatingLiteral reports whether a composite literal forces heap
+// allocation: slice literals and map literals do; struct and array value
+// literals do not (the enclosing &T{} case is handled by the UnaryExpr
+// branch).
+func allocatingLiteral(pass *analysis.Pass, cl *ast.CompositeLit, addressed bool) bool {
+	t := pass.TypesInfo.Types[cl].Type
+	if t == nil {
+		// Untyped sub-literal inside a parent literal; parent decides.
+		return false
+	}
+	switch types.Unalias(t).Underlying().(type) {
+	case *types.Slice, *types.Map:
+		return true
+	}
+	return addressed
+}
+
+// isBuiltin reports whether id resolves to the named universe builtin.
+func isBuiltin(pass *analysis.Pass, id *ast.Ident, name string) bool {
+	if id.Name != name {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[id]
+	_, ok := obj.(*types.Builtin)
+	return ok
+}
+
+// pkgOf resolves a selector's qualifier to a package name.
+func pkgOf(pass *analysis.Pass, sel *ast.SelectorExpr) (string, bool) {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pkgName, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", false
+	}
+	return pkgName.Imported().Path(), true
+}
+
+// isStringType reports whether a binary expression has string type.
+func isStringType(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.Types[e].Type
+	if t == nil {
+		return false
+	}
+	basic, ok := types.Unalias(t).Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsString != 0
+}
+
+// condChecksNil reports whether an if condition contains a comparison
+// against nil (or a comma-ok/len guard) — the shape of every lazy-fill cold
+// branch on the warm path.
+func condChecksNil(cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if be, ok := n.(*ast.BinaryExpr); ok {
+			if isNilIdent(be.X) || isNilIdent(be.Y) {
+				found = true
+				return false
+			}
+			// len/cap guards: `cap(s) < n` style growth checks gate a
+			// genuinely-cold resize branch.
+			if be.Op == token.LSS || be.Op == token.GTR || be.Op == token.LEQ || be.Op == token.GEQ {
+				for _, side := range []ast.Expr{be.X, be.Y} {
+					if call, ok := ast.Unparen(side).(*ast.CallExpr); ok {
+						if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && (id.Name == "cap" || id.Name == "len") {
+							found = true
+							return false
+						}
+					}
+				}
+			}
+		}
+		if un, ok := n.(*ast.UnaryExpr); ok && un.Op == token.NOT {
+			// `if !ok` after a comma-ok type assertion / map load is the
+			// pool-miss branch.
+			if _, isIdent := ast.Unparen(un.X).(*ast.Ident); isIdent {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isNilIdent reports whether e is the predeclared nil.
+func isNilIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}

@@ -1,0 +1,12 @@
+package noalloc_test
+
+import (
+	"testing"
+
+	"distbound/internal/analysis/analysistest"
+	"distbound/internal/analysis/noalloc"
+)
+
+func TestNoalloc(t *testing.T) {
+	analysistest.Run(t, ".", noalloc.Analyzer, "na")
+}

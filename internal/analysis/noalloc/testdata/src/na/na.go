@@ -1,0 +1,112 @@
+// Package na exercises the //distbound:noalloc allocation rules.
+package na
+
+import "fmt"
+
+type buf struct {
+	out []float64
+}
+
+//distbound:noalloc
+func spanSum(xs []float64, b *buf) float64 {
+	t := 0.0
+	for _, x := range xs {
+		t += x
+	}
+	b.out = append(b.out, t) // growth into caller-owned storage is sanctioned
+	return t
+}
+
+//distbound:noalloc
+func badMake(n int) []int {
+	return make([]int, n) // want `make\(\) allocates`
+}
+
+//distbound:noalloc
+func badNew() *buf {
+	return new(buf) // want `new\(\) allocates`
+}
+
+//distbound:noalloc
+func badSliceLit() []int {
+	return []int{1, 2} // want `composite literal allocates`
+}
+
+//distbound:noalloc
+func badMapLit() map[string]int {
+	return map[string]int{} // want `composite literal allocates`
+}
+
+//distbound:noalloc
+func badPtrLit() *buf {
+	return &buf{} // want `&buf\{\} literal allocates`
+}
+
+//distbound:noalloc
+func okStructLit() buf {
+	return buf{} // plain struct literal is a stack value
+}
+
+//distbound:noalloc
+func okArrayLit() [2]int {
+	return [2]int{1, 2}
+}
+
+//distbound:noalloc
+func badAppend(xs []int) []int {
+	ys := append(xs, 1) // want `append\(\) result not reassigned`
+	return ys
+}
+
+//distbound:noalloc
+func okSelfAppend(xs []int) []int {
+	xs = append(xs, 1)
+	return xs
+}
+
+//distbound:noalloc
+func badClosure() func() int {
+	f := func() int { return 1 } // want `function literal escapes`
+	return f
+}
+
+//distbound:noalloc
+func okDirectClosure(xs []int) int {
+	return fold(xs, func(a, b int) int { return a + b })
+}
+
+func fold(xs []int, f func(a, b int) int) int {
+	t := 0
+	for _, x := range xs {
+		t = f(t, x)
+	}
+	return t
+}
+
+//distbound:noalloc
+func badSprintf(n int) string {
+	return fmt.Sprintf("%d", n) // want `fmt\.Sprintf allocates`
+}
+
+//distbound:noalloc
+func badConcat(a, b string) string {
+	return a + b // want `string concatenation allocates`
+}
+
+//distbound:noalloc
+func okColdFill(b *buf) {
+	if b.out == nil {
+		b.out = make([]float64, 0, 8) // nil-guarded lazy fill is cold
+	}
+}
+
+//distbound:noalloc
+func okGrowthGuard(b *buf, n int) {
+	if cap(b.out) < n {
+		b.out = make([]float64, 0, n) // capacity-guarded resize is cold
+	}
+}
+
+func unannotated() []int {
+	return make([]int, 4) // unannotated functions are not checked
+}

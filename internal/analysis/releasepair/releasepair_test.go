@@ -1,0 +1,12 @@
+package releasepair_test
+
+import (
+	"testing"
+
+	"distbound/internal/analysis/analysistest"
+	"distbound/internal/analysis/releasepair"
+)
+
+func TestReleasePair(t *testing.T) {
+	analysistest.Run(t, ".", releasepair.Analyzer, "release")
+}

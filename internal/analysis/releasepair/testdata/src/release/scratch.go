@@ -1,0 +1,41 @@
+package release
+
+var leaked *respScratch
+
+func newScratch() *respScratch { // want `returns pooled scratch`
+	return &respScratch{}
+}
+
+//distbound:allow-scratch-escape pool accessor pairs with Release
+func getScratch() *respScratch {
+	return &respScratch{}
+}
+
+//distbound:allow-scratch-escape
+func noReason() *respScratch { // want `requires a reason`
+	return &respScratch{}
+}
+
+func storeGlobal(s *respScratch) {
+	leaked = s // want `stored outside`
+}
+
+func storeResponseSlot(r *Response, s *respScratch) {
+	// The Response's own scratch field is the sanctioned home.
+	r.scratch = s
+}
+
+type holder struct{ s *respScratch }
+
+func storeForeignField(h *holder, s *respScratch) {
+	h.s = s // want `stored outside`
+}
+
+func sendScratch(ch chan *respScratch, s *respScratch) {
+	ch <- s // want `sent on a channel`
+}
+
+func localOnly(s *respScratch) int {
+	tmp := s
+	return len(tmp.out)
+}

@@ -1,0 +1,138 @@
+// Package snapshotdiscipline enforces the engine's snapshot-isolation read
+// discipline on joiner query paths: a pointstore.Mutable publishes immutable
+// *Snapshot views through an atomic pointer, and a query must load exactly
+// one snapshot and pass it down. Two Snapshot() loads in one function — or a
+// load inside a loop — can observe different generations of the store on the
+// two sides of a computation (base rows of one compaction epoch folded
+// against delta rows of another), which is precisely the torn read the
+// epoch-swap design exists to rule out.
+//
+// The analyzer flags, per function body:
+//
+//   - a second Snapshot() call on the same receiver expression, and
+//   - any Snapshot() call lexically inside a for/range statement.
+//
+// Functions that deliberately compare generations (differential tests,
+// accounting that tolerates drift) carry //distbound:allow-multisnapshot
+// <reason>. The check is name-based — any method named Snapshot on a type
+// named Mutable — so fixture packages can model the store without importing
+// the real one.
+package snapshotdiscipline
+
+import (
+	"go/ast"
+	"go/types"
+
+	"distbound/internal/analysis"
+)
+
+// Annotation is the suppression directive: //distbound:allow-multisnapshot
+// <reason> on the enclosing declaration.
+const Annotation = "allow-multisnapshot"
+
+// Analyzer is the snapshotdiscipline analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "snapshotdiscipline",
+	Doc: "require exactly one Mutable.Snapshot() load per query path; " +
+		"repeated or in-loop loads can mix store generations",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		if pass.ClassifyFile(file) == analysis.ClassTest {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if a, ok := analysis.FuncAnnotation(fd, Annotation); ok {
+				if a.Reason == "" {
+					pass.Reportf(fd.Pos(), "//distbound:allow-multisnapshot requires a reason")
+				}
+				continue
+			}
+			checkFunc(pass, fd.Body)
+		}
+	}
+	return nil, nil
+}
+
+// checkFunc walks one function body tracking Snapshot() loads per receiver
+// expression and loop depth. Nested function literals are part of the same
+// query path: a closure re-loading the outer function's store races it the
+// same way a second inline load would.
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	seen := map[string]int{} // receiver expr → Snapshot() loads observed
+	loopDepth := 0
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			if n.Init != nil {
+				ast.Inspect(n.Init, walk)
+			}
+			// Cond and Post run once per iteration — they are loop body for
+			// generation-mixing purposes; only Init runs exactly once.
+			loopDepth++
+			if n.Cond != nil {
+				ast.Inspect(n.Cond, walk)
+			}
+			if n.Post != nil {
+				ast.Inspect(n.Post, walk)
+			}
+			ast.Inspect(n.Body, walk)
+			loopDepth--
+			return false
+		case *ast.RangeStmt:
+			ast.Inspect(n.X, walk)
+			loopDepth++
+			ast.Inspect(n.Body, walk)
+			loopDepth--
+			return false
+		case *ast.CallExpr:
+			recv, ok := snapshotLoad(pass, n)
+			if !ok {
+				return true
+			}
+			if loopDepth > 0 {
+				pass.Reportf(n.Pos(),
+					"Snapshot() load inside a loop can mix store generations across iterations; hoist one load before the loop")
+				return true
+			}
+			seen[recv]++
+			if seen[recv] == 2 {
+				pass.Reportf(n.Pos(),
+					"second Snapshot() load of %s in one function can mix store generations; load once and pass the snapshot down", recv)
+			}
+			return true
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+}
+
+// snapshotLoad reports whether call is a Snapshot() method call on a value
+// of a named type Mutable (or pointer to one), returning the receiver
+// expression rendered as a string for same-receiver matching.
+func snapshotLoad(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Snapshot" || len(call.Args) != 0 {
+		return "", false
+	}
+	t := pass.TypesInfo.Types[sel.X].Type
+	if t == nil {
+		return "", false
+	}
+	t = types.Unalias(t)
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = types.Unalias(ptr.Elem())
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Mutable" {
+		return "", false
+	}
+	return types.ExprString(sel.X), true
+}

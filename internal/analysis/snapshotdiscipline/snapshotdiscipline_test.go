@@ -1,0 +1,12 @@
+package snapshotdiscipline_test
+
+import (
+	"testing"
+
+	"distbound/internal/analysis/analysistest"
+	"distbound/internal/analysis/snapshotdiscipline"
+)
+
+func TestSnapshotDiscipline(t *testing.T) {
+	analysistest.Run(t, ".", snapshotdiscipline.Analyzer, "snap")
+}

@@ -1,0 +1,68 @@
+// Package snap models the pointstore.Mutable epoch-swap shape for the
+// snapshotdiscipline fixtures.
+package snap
+
+type Snapshot struct{ gen int }
+
+type Mutable struct{ cur *Snapshot }
+
+func (m *Mutable) Snapshot() *Snapshot { return m.cur }
+
+func good(m *Mutable) int {
+	s := m.Snapshot()
+	return s.gen + s.gen
+}
+
+func double(m *Mutable) int {
+	a := m.Snapshot()
+	b := m.Snapshot() // want `second Snapshot\(\) load`
+	return a.gen + b.gen
+}
+
+func inLoop(m *Mutable) int {
+	total := 0
+	for i := 0; i < 3; i++ {
+		total += m.Snapshot().gen // want `inside a loop`
+	}
+	return total
+}
+
+func inRange(m *Mutable, xs []int) int {
+	total := 0
+	for range xs {
+		total += m.Snapshot().gen // want `inside a loop`
+	}
+	return total
+}
+
+func hoisted(m *Mutable, xs []int) int {
+	s := m.Snapshot()
+	total := 0
+	for range xs {
+		total += s.gen
+	}
+	return total
+}
+
+func twoStores(a, b *Mutable) int {
+	// Distinct receivers are distinct stores; one load each is the contract.
+	return a.Snapshot().gen + b.Snapshot().gen
+}
+
+func inClosure(m *Mutable) int {
+	s := m.Snapshot()
+	f := func() int {
+		return m.Snapshot().gen // want `second Snapshot\(\) load`
+	}
+	return s.gen + f()
+}
+
+//distbound:allow-multisnapshot differential generation check
+func allowed(m *Mutable) int {
+	return m.Snapshot().gen + m.Snapshot().gen
+}
+
+//distbound:allow-multisnapshot
+func missingReason(m *Mutable) int { // want `requires a reason`
+	return m.Snapshot().gen + m.Snapshot().gen
+}

@@ -116,6 +116,8 @@ func (c *Cache[K, V]) GetOrBuild(key K, build func() (V, error)) (V, error) {
 // as permanently interested. A panicking build fails every waiter with an
 // error and is contained on the builder goroutine — it never crashes the
 // process.
+//
+//distbound:allow-background the build context is shared by all waiters and must outlive any one caller; cancellation is refcounted separately
 func (c *Cache[K, V]) GetOrBuildCtx(ctx context.Context, key K, build func(context.Context) (V, error)) (V, error) {
 	c.mu.Lock()
 	e, ok := c.lookup(key)

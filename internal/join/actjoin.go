@@ -31,6 +31,8 @@ type ACTJoiner struct {
 // distance bound eps, all cells inserted into a single trie. Payloads encode
 // (region ID, boundary flag) so that result-range estimation can attribute
 // hits to boundary cells.
+//
+//distbound:allow-background context-free convenience over NewACTJoinerCtx; callers hold no context to thread
 func NewACTJoiner(regions []geom.Region, d sfc.Domain, curve sfc.Curve, eps float64, stride int) (*ACTJoiner, error) {
 	return NewACTJoinerCtx(context.Background(), regions, d, curve, eps, stride)
 }

@@ -50,6 +50,8 @@ type brjCachedMask struct {
 // workers (≤ 0 selects GOMAXPROCS) — pass the serving layer's configured
 // fan-out so a cold build cannot saturate cores that concurrent queries
 // are using. maxTex ≤ 0 selects canvas.DefaultMaxTextureSize.
+//
+//distbound:allow-background context-free convenience over NewBRJJoinerCtx; callers hold no context to thread
 func NewBRJJoiner(regions []geom.Region, bounds geom.Rect, bound float64, maxTex, workers int) (*BRJJoiner, error) {
 	return NewBRJJoinerCtx(context.Background(), regions, bounds, bound, maxTex, workers)
 }
@@ -161,6 +163,8 @@ func (j *BRJJoiner) Aggregate(ps PointSet, agg Agg) (Result, error) {
 // AggregateParallel runs the join with tiles fanned out across the given
 // number of workers (≤ 0 selects GOMAXPROCS). Counts are identical to the
 // sequential form; float sums differ only by re-association.
+//
+//distbound:allow-background context-free convenience over AggregateMulti; callers hold no context to thread
 func (j *BRJJoiner) AggregateParallel(ps PointSet, agg Agg, workers int) (Result, error) {
 	rs, err := j.AggregateMulti(context.Background(), ps, []Agg{agg}, workers)
 	if err != nil {

@@ -249,6 +249,8 @@ func (p *coverPlan) memoryBytes() int {
 
 // newScratch sizes a workspace for the plan; hasW decides whether the float
 // columns exist.
+//
+//distbound:allow-scratch-escape pool accessor; AggregateMultiInto returns the workspace to the pool before returning
 func (p *coverPlan) newScratch(numReg int, hasW bool) *planScratch {
 	sc := &planScratch{
 		resolved: make([]int, len(p.bkeys)),
@@ -277,6 +279,8 @@ const cancelStride = 4096
 // region count; every slot is overwritten. The returned ProbeStats counts
 // the work performed. With workers ≤ 1 the call runs entirely inline —
 // no goroutines, no allocations beyond a pooled scratch reuse.
+//
+//distbound:noalloc
 func (j *PointIdxJoiner) AggregateMultiInto(ctx context.Context, aggs []Agg, workers int, results []Result) (ProbeStats, error) {
 	if err := j.validateAggs(aggs); err != nil {
 		return ProbeStats{}, err
@@ -395,6 +399,8 @@ func (j *PointIdxJoiner) resolveAndProbe(ctx context.Context, snap *pointstore.S
 
 // probeRange computes one unique range's span aggregates into the scratch
 // columns — the shared values every posting region folds from.
+//
+//distbound:noalloc
 func probeRange(snap *pointstore.Snapshot, p *coverPlan, sc *planScratch, needs aggNeeds, u, baseLen int) {
 	i := sc.resolved[p.loB[u]]
 	k := baseLen
@@ -418,6 +424,8 @@ func probeRange(snap *pointstore.Snapshot, p *coverPlan, sc *planScratch, needs 
 // covered regions, returning how many rows were probed. One binary search
 // plus the fan-out replaces the per-region brute scan — O(delta ×
 // (log ranges + hits)) instead of O(regions × delta).
+//
+//distbound:noalloc
 func (j *PointIdxJoiner) invertDelta(ctx context.Context, snap *pointstore.Snapshot, sc *planScratch, needs aggNeeds, numReg int) (int, error) {
 	p := j.plan
 	done := ctx.Done()
@@ -484,6 +492,8 @@ func (j *PointIdxJoiner) invertDelta(ctx context.Context, snap *pointstore.Snaps
 // values (in the region's own Lo-ascending order, preserving the reference
 // execution's fold order) plus its delta accumulator, and writes the
 // region's slot of every result.
+//
+//distbound:noalloc
 func (j *PointIdxJoiner) foldRegion(sc *planScratch, needs aggNeeds, deltaAny bool, ri int, results []Result) {
 	p := j.plan
 	var cnt int64

@@ -35,6 +35,8 @@ func shardBounds(n, k int) [][2]int {
 
 // AggregateParallel is Aggregate across the given number of workers
 // (≤ 0 selects GOMAXPROCS). Counts are identical to the sequential result.
+//
+//distbound:allow-background context-free convenience over AggregateMulti; callers hold no context to thread
 func (j *ACTJoiner) AggregateParallel(ps PointSet, agg Agg, workers int) (Result, error) {
 	rs, err := j.AggregateMulti(context.Background(), ps, []Agg{agg}, workers)
 	if err != nil {
@@ -44,6 +46,8 @@ func (j *ACTJoiner) AggregateParallel(ps PointSet, agg Agg, workers int) (Result
 }
 
 // AggregateParallel is the sharded form of the exact R*-tree join.
+//
+//distbound:allow-background context-free convenience over AggregateMulti; callers hold no context to thread
 func (j *RStarJoiner) AggregateParallel(ps PointSet, agg Agg, workers int) (Result, error) {
 	rs, err := j.AggregateMulti(context.Background(), ps, []Agg{agg}, workers)
 	if err != nil {

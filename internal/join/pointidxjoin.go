@@ -55,6 +55,8 @@ type PointIdxJoiner struct {
 // workers (≤ 0 selects GOMAXPROCS). The returned joiner is immutable and
 // safe for concurrent use; it reads a fresh snapshot of the dataset on every
 // Aggregate call.
+//
+//distbound:allow-background context-free convenience over NewPointIdxJoinerCtx; callers hold no context to thread
 func NewPointIdxJoiner(regions []geom.Region, src *pointstore.Mutable, eps float64, workers int) (*PointIdxJoiner, error) {
 	return NewPointIdxJoinerCtx(context.Background(), regions, src, eps, workers)
 }
@@ -145,6 +147,8 @@ func (j *PointIdxJoiner) Aggregate(agg Agg) (Result, error) {
 // one call sees the same instant of the dataset; every region is computed
 // wholly by one worker, so results — including float sums — are identical
 // for any worker count.
+//
+//distbound:allow-background context-free convenience over AggregateMulti; callers hold no context to thread
 func (j *PointIdxJoiner) AggregateParallel(agg Agg, workers int) (Result, error) {
 	rs, err := j.AggregateMulti(context.Background(), []Agg{agg}, workers)
 	if err != nil {
@@ -158,6 +162,8 @@ func (j *PointIdxJoiner) AggregateParallel(agg Agg, workers int) (Result, error)
 // only that region's slots of every result. Each Span is located once and
 // every needed aggregate folds from it — the shared-lookup economy of the
 // multi-aggregate path.
+//
+//distbound:noalloc
 func (j *PointIdxJoiner) aggregateRegion(snap *pointstore.Snapshot, results []Result, needs aggNeeds, ri int) {
 	var cnt int64
 	var sum float64
@@ -216,6 +222,8 @@ func (j *PointIdxJoiner) aggregateRegion(snap *pointstore.Snapshot, results []Re
 
 // coversKey reports whether a leaf key falls in one of the merged, sorted
 // cover ranges — binary search, mirroring Approximation.CoversLeafPos.
+//
+//distbound:noalloc
 func coversKey(ranges []raster.PosRange, key uint64) bool {
 	i := sort.Search(len(ranges), func(i int) bool { return ranges[i].Hi >= key })
 	return i < len(ranges) && ranges[i].Lo <= key

@@ -392,21 +392,29 @@ func (s *Snapshot) HasWeights() bool { return s.base.HasWeights() }
 
 // Span locates the base rows whose keys fall in the inclusive key range
 // [lo, hi] — tombstoned rows included; the per-span accessors subtract them.
+//
+//distbound:noalloc
 func (s *Snapshot) Span(lo, hi uint64) (i, j int) { return s.base.Span(lo, hi) }
 
 // SpanMulti resolves ascending probe keys against the base column in one
 // monotone sweep; see Store.SpanMulti. Tombstones do not shift base rows, so
 // the resolved positions feed the same per-span accessors Span's do.
+//
+//distbound:noalloc
 func (s *Snapshot) SpanMulti(probes []uint64, out []int) { s.base.SpanMulti(probes, out) }
 
 // tombsIn returns how many tombstones fall in base rows [i, j), and the index
 // of the first one.
+//
+//distbound:noalloc
 func (s *Snapshot) tombsIn(i, j int) (count, first int) {
 	first = sort.SearchInts(s.tombPos, i)
 	return sort.SearchInts(s.tombPos, j) - first, first
 }
 
 // CountSpan returns the number of live points in base rows [i, j).
+//
+//distbound:noalloc
 func (s *Snapshot) CountSpan(i, j int) int {
 	if i >= j {
 		return 0
@@ -417,6 +425,8 @@ func (s *Snapshot) CountSpan(i, j int) int {
 
 // SumSpan returns the live weight sum over base rows [i, j): the base prefix
 // difference minus the tombstoned prefix difference.
+//
+//distbound:noalloc
 func (s *Snapshot) SumSpan(i, j int) float64 {
 	if i >= j {
 		return 0
@@ -433,15 +443,20 @@ func (s *Snapshot) SumSpan(i, j int) float64 {
 // live row remains. Blocks without tombstones fold through the sparse block
 // column exactly as the immutable store does; blocks containing a tombstone
 // are scanned with the dead rows skipped.
+//
+//distbound:noalloc
 func (s *Snapshot) MinSpan(i, j int) float64 {
 	return s.extremeSpan(i, j, false)
 }
 
 // MaxSpan is MinSpan for the maximum (-Inf when empty).
+//
+//distbound:noalloc
 func (s *Snapshot) MaxSpan(i, j int) float64 {
 	return s.extremeSpan(i, j, true)
 }
 
+//distbound:noalloc
 func (s *Snapshot) extremeSpan(i, j int, maxAgg bool) float64 {
 	if len(s.tombPos) == 0 {
 		if maxAgg {
@@ -482,12 +497,18 @@ func (s *Snapshot) extremeSpan(i, j int, maxAgg bool) float64 {
 }
 
 // DeltaKey returns delta row k's curve key.
+//
+//distbound:noalloc
 func (s *Snapshot) DeltaKey(k int) uint64 { return s.deltaKeys[k] }
 
 // DeltaWeight returns delta row k's weight; the snapshot must have weights.
+//
+//distbound:noalloc
 func (s *Snapshot) DeltaWeight(k int) float64 { return s.deltaWs[k] }
 
 // DeltaLive reports whether delta row k is still live.
+//
+//distbound:noalloc
 func (s *Snapshot) DeltaLive(k int) bool {
 	d := sort.SearchInts(s.deltaDead, k)
 	return d == len(s.deltaDead) || s.deltaDead[d] != k

@@ -153,6 +153,8 @@ func (s *Store) Curve() sfc.Curve { return s.curve }
 // Span locates the contiguous run of points whose keys fall in the inclusive
 // key range [lo, hi], as half-open positions [i, j) into the sorted columns —
 // two learned-index lookups.
+//
+//distbound:noalloc
 func (s *Store) Span(lo, hi uint64) (i, j int) {
 	if lo > hi {
 		return 0, 0
@@ -173,6 +175,8 @@ func (s *Store) Span(lo, hi uint64) (i, j int) {
 // probes — at O(Σ log gap) total comparisons, which is what makes a global
 // cover plan's boundary resolution cheaper than per-region probing even
 // before deduplication.
+//
+//distbound:noalloc
 func (s *Store) SpanMulti(probes []uint64, out []int) {
 	n := len(s.keys)
 	cur := 0
@@ -206,6 +210,8 @@ func (s *Store) SpanMulti(probes []uint64, out []int) {
 
 // CountRange returns the number of points with keys in the inclusive range
 // [lo, hi].
+//
+//distbound:noalloc
 func (s *Store) CountRange(lo, hi uint64) int {
 	i, j := s.Span(lo, hi)
 	return j - i
@@ -213,11 +219,15 @@ func (s *Store) CountRange(lo, hi uint64) int {
 
 // SumSpan returns the weight sum over positions [i, j) via the prefix-sum
 // column. The store must have weights.
+//
+//distbound:noalloc
 func (s *Store) SumSpan(i, j int) float64 { return s.prefix[j] - s.prefix[i] }
 
 // MinSpan returns the minimum weight over positions [i, j), folding whole
 // blocks through the sparse block column and scanning only partial blocks.
 // It returns +Inf for an empty span. The store must have weights.
+//
+//distbound:noalloc
 func (s *Store) MinSpan(i, j int) float64 {
 	m := math.Inf(1)
 	for i < j {
@@ -235,6 +245,8 @@ func (s *Store) MinSpan(i, j int) float64 {
 }
 
 // MaxSpan is MinSpan for the maximum; it returns -Inf for an empty span.
+//
+//distbound:noalloc
 func (s *Store) MaxSpan(i, j int) float64 {
 	m := math.Inf(-1)
 	for i < j {

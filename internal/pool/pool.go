@@ -94,6 +94,8 @@ func SplitWeighted(n, k int, weight func(i int) int64, out [][2]int) [][2]int {
 // returns. After the first error, remaining jobs are skipped and Run
 // reports that error. workers ≤ 1 runs inline in job order, stopping at
 // the first error.
+//
+//distbound:allow-background context-free convenience over RunCtx; callers hold no context to thread
 func Run(n, workers int, fn func(worker, job int) error) error {
 	return RunCtx(context.Background(), n, workers, fn)
 }
