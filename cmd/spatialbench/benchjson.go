@@ -24,6 +24,7 @@ type benchJSON struct {
 	Comparisons   []pathComparison      `json:"resident_vs_streaming,omitempty"`
 	MultiAgg      []multiAggComparison  `json:"multiagg_vs_sequential,omitempty"`
 	CoverPlan     []coverPlanComparison `json:"coverplan_vs_perregion,omitempty"`
+	Calibration   *calibrationJSON      `json:"calibration,omitempty"`
 }
 
 type benchConfigJSON struct {
@@ -46,7 +47,8 @@ type benchConfigJSON struct {
 func writeBenchJSON(cfg loadConfig, queries int, elapsed time.Duration,
 	pct func(float64) time.Duration, max time.Duration,
 	strategies map[distbound.Strategy]int, comparisons []pathComparison,
-	multiAggs []multiAggComparison, coverPlans []coverPlanComparison) error {
+	multiAggs []multiAggComparison, coverPlans []coverPlanComparison,
+	calibration *calibrationJSON) error {
 	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1e3 }
 	name := "spatialbench-load"
 	queryPoints := cfg.queryPoints
@@ -91,6 +93,7 @@ func writeBenchJSON(cfg loadConfig, queries int, elapsed time.Duration,
 	doc.Comparisons = comparisons
 	doc.MultiAgg = multiAggs
 	doc.CoverPlan = coverPlans
+	doc.Calibration = calibration
 	out, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"context"
+	"fmt"
+
+	"distbound"
+)
+
+// calibrationJSON is the -calibrate section of the BENCH_*.json document:
+// the host-fitted cost-model constants and a per-bound strategy-choice diff
+// against the defaults. The diff is expected to be empty — calibration
+// scales every constant by one machine-speed factor precisely so it can
+// refine the reported milliseconds without flipping a plan — and a non-empty
+// diff in a committed document is a regression worth reading.
+type calibrationJSON struct {
+	// ScaleVsDefault is the fitted machine-speed factor: >1 means this host
+	// runs the reference operations slower than the machine the defaults
+	// were measured on.
+	ScaleVsDefault float64            `json:"scale_vs_default"`
+	ConstantsNS    map[string]float64 `json:"constants_ns"`
+	StrategyDiff   []strategyDiff     `json:"strategy_diff"`
+}
+
+// strategyDiff records one bound whose planned strategy changed under the
+// calibrated model.
+type strategyDiff struct {
+	Bound      float64 `json:"bound"`
+	Default    string  `json:"default"`
+	Calibrated string  `json:"calibrated"`
+}
+
+// runCalibration calibrates the engine's cost model against this host and
+// reports the fitted constants plus a strategy-choice diff: the plan each
+// configured bound gets under the default model vs the calibrated one. It
+// installs the calibrated model, so the load phase that follows runs under
+// it.
+func runCalibration(e *distbound.Engine, ds *distbound.Dataset, cfg loadConfig) (*calibrationJSON, error) {
+	planned := func() (map[float64]distbound.Strategy, error) {
+		out := make(map[float64]distbound.Strategy, len(cfg.bounds))
+		for _, b := range cfg.bounds {
+			if ds != nil {
+				p, err := e.PlanForDataset(ds, cfg.agg, b, cfg.repetitions)
+				if err != nil {
+					return nil, err
+				}
+				out[b] = p.Strategy
+			} else {
+				out[b] = e.PlanFor(cfg.numPoints, cfg.agg, b, cfg.repetitions).Strategy
+			}
+		}
+		return out, nil
+	}
+
+	before, err := planned()
+	if err != nil {
+		return nil, fmt.Errorf("planning under default model: %w", err)
+	}
+	m, err := e.Calibrate(context.Background())
+	if err != nil {
+		return nil, fmt.Errorf("calibrating: %w", err)
+	}
+	after, err := planned()
+	if err != nil {
+		return nil, fmt.Errorf("planning under calibrated model: %w", err)
+	}
+
+	def := distbound.DefaultCostModel()
+	scale := m.TrieLookup / def.TrieLookup
+	fmt.Printf("calibrated cost model: machine-speed factor %.2f vs defaults\n", scale)
+	fmt.Printf("  %-14s %10s %10s\n", "constant", "default", "fitted")
+	for _, c := range []struct {
+		name     string
+		def, got float64
+	}{
+		{"TrieLookup", def.TrieLookup, m.TrieLookup},
+		{"TrieCellBuild", def.TrieCellBuild, m.TrieCellBuild},
+		{"TreePointQuery", def.TreePointQuery, m.TreePointQuery},
+		{"PIPPerVertex", def.PIPPerVertex, m.PIPPerVertex},
+		{"PixelWrite", def.PixelWrite, m.PixelWrite},
+		{"PointScatter", def.PointScatter, m.PointScatter},
+		{"RangeProbe", def.RangeProbe, m.RangeProbe},
+		{"DeltaProbe", def.DeltaProbe, m.DeltaProbe},
+	} {
+		fmt.Printf("  %-14s %8.1fns %8.1fns\n", c.name, c.def, c.got)
+	}
+
+	doc := &calibrationJSON{
+		ScaleVsDefault: scale,
+		ConstantsNS: map[string]float64{
+			"trie_lookup":      m.TrieLookup,
+			"trie_cell_build":  m.TrieCellBuild,
+			"tree_point_query": m.TreePointQuery,
+			"pip_per_vertex":   m.PIPPerVertex,
+			"pixel_write":      m.PixelWrite,
+			"point_scatter":    m.PointScatter,
+			"range_probe":      m.RangeProbe,
+			"delta_probe":      m.DeltaProbe,
+		},
+		StrategyDiff: []strategyDiff{},
+	}
+	for _, b := range cfg.bounds {
+		if before[b] != after[b] {
+			doc.StrategyDiff = append(doc.StrategyDiff, strategyDiff{
+				Bound: b, Default: before[b].String(), Calibrated: after[b].String(),
+			})
+		}
+	}
+	if len(doc.StrategyDiff) == 0 {
+		fmt.Println("  strategy choices: identical to the default model at every bound (uniform scaling preserves crossovers)")
+	} else {
+		for _, d := range doc.StrategyDiff {
+			fmt.Printf("  strategy change at bound %g: %s -> %s\n", d.Bound, d.Default, d.Calibrated)
+		}
+	}
+	return doc, nil
+}

@@ -193,6 +193,13 @@ func runIngest(cfg loadConfig) error {
 		appendPauses[len(appendPauses)-1].Round(time.Microsecond))
 	fmt.Printf("dataset: live=%d generation=%d (compactions) delta=%d tombstones=%d\n",
 		dstats.Live, dstats.Generation, dstats.DeltaLive, dstats.Tombstones)
+	if walls := ds.CompactionWalls(); len(walls) > 0 {
+		fmt.Printf("compaction wall per generation:")
+		for _, w := range walls {
+			fmt.Printf(" %v", w.Round(100*time.Microsecond))
+		}
+		fmt.Println()
+	}
 	fmt.Printf("strategies:")
 	for _, s := range []distbound.Strategy{distbound.StrategyExact, distbound.StrategyACT, distbound.StrategyBRJ, distbound.StrategyPointIdx} {
 		if n := strategies[s]; n > 0 {
@@ -210,7 +217,8 @@ func runIngest(cfg loadConfig) error {
 	}
 	if cfg.jsonPath != "" {
 		if err := writeIngestJSON(cfg, len(all), elapsed, all, appendPauses,
-			int(appended.Load()), int(deleted.Load()), dstats, strategies); err != nil {
+			int(appended.Load()), int(deleted.Load()), dstats, strategies,
+			ds.CompactionWalls()); err != nil {
 			return fmt.Errorf("writing %s: %w", cfg.jsonPath, err)
 		}
 		fmt.Printf("wrote %s\n", cfg.jsonPath)
@@ -273,13 +281,18 @@ type ingestJSON struct {
 	Appended      int                `json:"appended"`
 	Deleted       int                `json:"deleted"`
 	Compactions   uint64             `json:"compactions"`
-	Strategies    map[string]int     `json:"strategies"`
+	// CompactionWallMS is the merge wall time of each completed compaction
+	// generation, in order — the run's background compactions followed by
+	// the end-state verification's final one.
+	CompactionWallMS []float64      `json:"compaction_wall_ms"`
+	Strategies       map[string]int `json:"strategies"`
 }
 
 // writeIngestJSON renders one ingest run as a BENCH_*.json document.
 func writeIngestJSON(cfg loadConfig, queries int, elapsed time.Duration,
 	latencies, pauses []time.Duration, appended, deleted int,
-	dstats distbound.DatasetStats, strategies map[distbound.Strategy]int) error {
+	dstats distbound.DatasetStats, strategies map[distbound.Strategy]int,
+	compactWalls []time.Duration) error {
 	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1e3 }
 	pct := func(ds []time.Duration, p float64) time.Duration {
 		return ds[int(p*float64(len(ds)-1))]
@@ -317,6 +330,9 @@ func writeIngestJSON(cfg loadConfig, queries int, elapsed time.Duration,
 		Deleted:     deleted,
 		Compactions: dstats.Generation,
 		Strategies:  map[string]int{},
+	}
+	for _, w := range compactWalls {
+		doc.CompactionWallMS = append(doc.CompactionWallMS, float64(w.Microseconds())/1e3)
 	}
 	for s, n := range strategies {
 		doc.Strategies[s.String()] = n

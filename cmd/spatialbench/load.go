@@ -49,6 +49,11 @@ type loadConfig struct {
 	// workload that used to pin p99 behind whichever worker drew the giant
 	// under region-count sharding.
 	skew float64
+
+	// calibrate fits the planner's cost model to this host before the load
+	// phase and reports the fitted constants plus a calibrated-vs-default
+	// strategy diff.
+	calibrate bool
 }
 
 // zipfRegions builds n rectangle regions whose side lengths decay as
@@ -548,6 +553,16 @@ func runLoad(cfg loadConfig) error {
 	// Fix the configured worker count before any timed measurement, so the
 	// head-to-head and the load phase land in one consistent configuration.
 	e.SetWorkers(cfg.workers)
+	// Calibration runs before the timed phases so they execute under the
+	// fitted model (which, by the uniform-scaling design, plans the same
+	// strategies the defaults would).
+	var calibration *calibrationJSON
+	if cfg.calibrate {
+		var err error
+		if calibration, err = runCalibration(e, ds, cfg); err != nil {
+			return err
+		}
+	}
 	var coverPlans []coverPlanComparison
 	if cfg.resident {
 		comparisons = compareResident(e, ds, pool, cfg)
@@ -702,7 +717,7 @@ func runLoad(cfg loadConfig) error {
 		}
 	}
 	if cfg.jsonPath != "" {
-		if err := writeBenchJSON(cfg, len(all), elapsed, pct, all[len(all)-1], strategies, comparisons, multiAggs, coverPlans); err != nil {
+		if err := writeBenchJSON(cfg, len(all), elapsed, pct, all[len(all)-1], strategies, comparisons, multiAggs, coverPlans, calibration); err != nil {
 			return fmt.Errorf("writing %s: %w", cfg.jsonPath, err)
 		}
 		fmt.Printf("wrote %s\n", cfg.jsonPath)

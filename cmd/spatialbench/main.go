@@ -13,6 +13,7 @@
 //	spatialbench -concurrency 8 -ingest             # mixed append/query mode
 //	spatialbench -concurrency 8 -resident -multiagg # single-pass vs 5 sequential aggregates
 //	spatialbench -concurrency 8 -skew 1.2           # Zipf-skewed region sizes, tail-latency stress
+//	spatialbench -concurrency 8 -calibrate          # host-fit the cost model before the run
 //	spatialbench -concurrency 8 -json BENCH_load.json
 //
 // Experiments: fig4a, fig4b, fig6, mem, fig7, ablapprox, ablcurve, all.
@@ -38,6 +39,12 @@
 // exponent s: a few giant regions over a long tail of tiny ones. Watch the
 // p99 column — cost-weighted work partitioning keeps the giant regions from
 // pinning tail latency the way region-count sharding did.
+//
+// With -calibrate the run first fits the planner's cost model to the host
+// (Engine.Calibrate) and reports the fitted constants plus a per-bound diff
+// of the strategies the default and calibrated models choose — expected
+// empty, since calibration scales all constants uniformly. The -json
+// document carries both under "calibration".
 //
 // With -multiagg the run adds a per-bound head-to-head of the unified
 // request API's single-pass execution: one Engine.Do carrying all five
@@ -88,15 +95,21 @@ func main() {
 		compactThreshold = flag.Int("compactthreshold", distbound.DefaultCompactionThreshold, "ingest mode: delta+tombstone rows triggering a background compaction (0 disables)")
 
 		skew = flag.Float64("skew", 0, "load mode: replace the census regions with rectangles whose cover sizes follow a Zipf law with this exponent (0 = off); stresses cost-weighted work partitioning, watch p99")
+
+		calibrate = flag.Bool("calibrate", false, "load mode: fit the planner's cost model to this host before the run and report the constants plus a calibrated-vs-default strategy diff")
 	)
 	flag.Parse()
 
-	if (*resident || *ingest || *multiagg || *jsonPath != "" || *skew > 0) && *concurrency <= 0 {
-		fmt.Fprintln(os.Stderr, "-resident, -ingest, -multiagg, -skew and -json require load mode (-concurrency N > 0)")
+	if (*resident || *ingest || *multiagg || *calibrate || *jsonPath != "" || *skew > 0) && *concurrency <= 0 {
+		fmt.Fprintln(os.Stderr, "-resident, -ingest, -multiagg, -calibrate, -skew and -json require load mode (-concurrency N > 0)")
 		os.Exit(2)
 	}
 	if *skew > 0 && *ingest {
 		fmt.Fprintln(os.Stderr, "-skew is not wired into the ingest workload; drop one of -skew / -ingest")
+		os.Exit(2)
+	}
+	if *calibrate && *ingest {
+		fmt.Fprintln(os.Stderr, "-calibrate is not wired into the ingest workload; drop one of -calibrate / -ingest")
 		os.Exit(2)
 	}
 	if *concurrency > 0 {
@@ -129,6 +142,7 @@ func main() {
 			ingestBatch:      *ingestBatch,
 			compactThreshold: *compactThreshold,
 			skew:             *skew,
+			calibrate:        *calibrate,
 		}
 		run := runLoad
 		if cfg.ingest {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"distbound/internal/cache"
 	"distbound/internal/join"
@@ -25,6 +26,10 @@ const (
 
 // CostModel holds the planner's calibrated per-operation constants.
 type CostModel = planner.CostModel
+
+// DefaultCostModel returns the reference-machine cost constants every new
+// engine starts with; Calibrate refits them to the running host.
+func DefaultCostModel() CostModel { return planner.DefaultCostModel() }
 
 // DefaultIndexCacheCapacity bounds the ACT index cache: a long-running
 // server that has seen more distinct bounds than this evicts the least
@@ -135,6 +140,24 @@ func (e *Engine) SetCostModel(m CostModel) {
 	e.mu.Lock()
 	e.model = m
 	e.mu.Unlock()
+}
+
+// Calibrate fits the planner's cost model to this host — a bounded startup
+// microbenchmark of a few milliseconds that times real range probes, delta
+// binary-searches and trie lookups against synthetic data — installs the
+// fitted model, and returns it. Every fitted constant is clamped to a sane
+// envelope around the defaults, so calibration refines strategy crossover
+// points without ever producing a pathological model. Call it once at server
+// startup, before the serving workload; Explain reports the installed model
+// on its cost-model line. Canceling ctx abandons the run with ctx's error
+// and leaves the current model untouched.
+func (e *Engine) Calibrate(ctx context.Context) (CostModel, error) {
+	m, err := planner.Calibrate(ctx)
+	if err != nil {
+		return m, err
+	}
+	e.SetCostModel(m)
+	return m, nil
 }
 
 // SetWorkers fixes the intra-query fan-out: every Aggregate call shards its
@@ -269,6 +292,12 @@ type Dataset struct {
 
 	compactThreshold atomic.Int64
 	compacting       atomic.Bool
+
+	// compactMu serializes dataset-level compactions and guards
+	// compactWalls: one wall-time sample per completed compaction
+	// generation, recorded by manual and background compactions alike.
+	compactMu    sync.Mutex
+	compactWalls []time.Duration
 }
 
 // DatasetStats is a point-in-time accounting snapshot of a dataset — the
@@ -372,7 +401,33 @@ func (d *Dataset) Delete(ids ...uint64) int {
 // In-flight queries finish on the pre-compaction snapshot; queries issued
 // after Compact returns probe the new base with an empty delta. Appends and
 // deletes block for the duration; queries never do.
-func (d *Dataset) Compact() { d.src.Compact() }
+func (d *Dataset) Compact() { d.timedCompact() }
+
+// timedCompact runs one compaction and records its wall time when the
+// generation actually advanced — a compaction that found nothing pending
+// publishes no new generation and records no sample, so CompactionWalls
+// stays one sample per generation. Holding compactMu across the merge
+// serializes compactors, which keeps the generation check attributable to
+// this call and time spent waiting on another compactor out of the sample.
+func (d *Dataset) timedCompact() {
+	d.compactMu.Lock()
+	defer d.compactMu.Unlock()
+	before := d.src.Gen()
+	t0 := time.Now()
+	d.src.Compact()
+	wall := time.Since(t0)
+	if d.src.Gen() != before {
+		d.compactWalls = append(d.compactWalls, wall)
+	}
+}
+
+// CompactionWalls returns the wall time of every completed compaction, in
+// generation order — the merge cost trajectory an ingest-heavy workload pays.
+func (d *Dataset) CompactionWalls() []time.Duration {
+	d.compactMu.Lock()
+	defer d.compactMu.Unlock()
+	return append([]time.Duration(nil), d.compactWalls...)
+}
 
 // SetCompactionThreshold sets how much un-compacted state (delta rows plus
 // tombstones) a mutation tolerates before scheduling a background
@@ -401,7 +456,7 @@ func (d *Dataset) maybeCompact() {
 	}
 	go func() {
 		for {
-			d.src.Compact()
+			d.timedCompact()
 			th := d.compactThreshold.Load()
 			if th <= 0 || int64(d.src.Pending()) < th {
 				break

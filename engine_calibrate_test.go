@@ -1,0 +1,55 @@
+package distbound
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"distbound/internal/data"
+)
+
+// TestEngineCalibrate pins the engine-level calibration contract: Calibrate
+// installs the fitted model, Explain switches its cost-model line to
+// "calibrated", and — the acceptance criterion — the calibrated model never
+// flips the BenchmarkResident head-to-head's plan: the repetition-heavy
+// resident query shape that benchmark measures must still plan pointidx at
+// both of its bounds. Uniform machine-speed scaling makes this hold by
+// construction — the margin at bound 8 is only ~1.18×, so any per-constant
+// refitting would be one noisy stage away from inverting it.
+func TestEngineCalibrate(t *testing.T) {
+	pts, weights := data.TaxiPoints(1, 200_000)
+	regions := data.Regions(data.Census(13, 400))
+	e := NewEngine(regions)
+	ds, err := e.RegisterPoints("bench", pts, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := e.Calibrate(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Calibrated {
+		t.Fatal("Engine.Calibrate returned an uncalibrated model")
+	}
+	if got := e.costModel(); got != m {
+		t.Fatalf("Engine.Calibrate did not install the fitted model: %+v", got)
+	}
+
+	for _, bound := range []float64{8, 16} {
+		resp, err := e.Do(context.Background(), Request{
+			Dataset: ds, Aggs: []Agg{Count}, Bound: bound, Repetitions: 100_000, Explain: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Strategy != StrategyPointIdx {
+			t.Errorf("bound %g: calibrated model planned %v for the BenchmarkResident shape, want pointidx\n%s",
+				bound, resp.Strategy, resp.Explain)
+		}
+		if !strings.HasSuffix(resp.Explain, "cost-model: calibrated") {
+			t.Errorf("bound %g: Explain does not report the calibrated model:\n%s", bound, resp.Explain)
+		}
+		resp.Release()
+	}
+}

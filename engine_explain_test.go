@@ -40,7 +40,8 @@ func TestExplainGolden(t *testing.T) {
 	got := e.Explain(50_000, 16, 10)
 	const want = `* exact(R*)  build=0.0ms run=22.3ms total=223.3ms
   act        build=191.9ms run=20.0ms total=391.9ms
-  brj        build=43.3ms run=111.9ms total=1161.9ms`
+  brj        build=43.3ms run=111.9ms total=1161.9ms
+cost-model: default`
 	if got != want {
 		t.Errorf("Explain drifted:\n--- got ---\n%s\n--- want ---\n%s", got, want)
 	}
@@ -76,7 +77,8 @@ func TestResponseExplainGolden(t *testing.T) {
 	}
 	const wantExtremeSet = `* exact(R*)  build=0.0ms run=22.3ms total=223.3ms
   pointidx   build=191.9ms run=6.4ms total=255.9ms
-  act        build=191.9ms run=20.0ms total=391.9ms`
+  act        build=191.9ms run=20.0ms total=391.9ms
+cost-model: default`
 	if resp.Explain != wantExtremeSet {
 		t.Errorf("multi-agg Response.Explain drifted:\n--- got ---\n%s\n--- want ---\n%s",
 			resp.Explain, wantExtremeSet)
@@ -95,7 +97,8 @@ func TestExplainDatasetGolden(t *testing.T) {
 	const wantCompact = `* exact(R*)  build=0.0ms run=22.3ms total=223.3ms
   pointidx   build=191.9ms run=6.4ms total=255.9ms
   act        build=191.9ms run=20.0ms total=391.9ms
-  brj        build=43.3ms run=111.9ms total=1161.9ms`
+  brj        build=43.3ms run=111.9ms total=1161.9ms
+cost-model: default`
 	if got != wantCompact {
 		t.Errorf("ExplainDataset (compact) drifted:\n--- got ---\n%s\n--- want ---\n%s", got, wantCompact)
 	}
@@ -116,7 +119,8 @@ func TestExplainDatasetGolden(t *testing.T) {
   exact(R*)  build=0.0ms run=27.9ms total=279.2ms
   act        build=191.9ms run=25.0ms total=441.9ms
   brj        build=43.3ms run=112.1ms total=1164.4ms
-delta: 20.0% of resident points await compaction (pointidx per-run cost includes the inverted delta join)`
+delta: 20.0% of resident points await compaction (pointidx per-run cost includes the inverted delta join)
+cost-model: default`
 	if got != wantDelta {
 		t.Errorf("ExplainDataset (delta) drifted:\n--- got ---\n%s\n--- want ---\n%s", got, wantDelta)
 	}

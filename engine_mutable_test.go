@@ -352,3 +352,35 @@ func TestMutableConcurrency(t *testing.T) {
 		}
 	}
 }
+
+// TestDatasetCompactionWalls pins the wall-time accounting: exactly one
+// sample per completed generation — a compaction with nothing pending
+// publishes no generation and records no sample.
+func TestDatasetCompactionWalls(t *testing.T) {
+	_, ds, ps, _ := residentFixture(t, 5000)
+	if walls := ds.CompactionWalls(); len(walls) != 0 {
+		t.Fatalf("fresh dataset has %d wall samples", len(walls))
+	}
+
+	ds.Compact() // nothing pending: no generation, no sample
+	if walls := ds.CompactionWalls(); len(walls) != 0 {
+		t.Fatalf("no-op compaction recorded %d wall samples", len(walls))
+	}
+
+	if _, err := ds.Append(ps.Pts[:100], ps.Weights[:100]); err != nil {
+		t.Fatal(err)
+	}
+	ds.Compact()
+	walls := ds.CompactionWalls()
+	if len(walls) != 1 || walls[0] <= 0 {
+		t.Fatalf("one real compaction recorded %v", walls)
+	}
+	if gen := ds.Generation(); gen != uint64(len(walls)) {
+		t.Fatalf("generation %d but %d wall samples", gen, len(walls))
+	}
+
+	ds.Compact() // pending drained: again no sample
+	if got := ds.CompactionWalls(); len(got) != 1 {
+		t.Fatalf("no-op compaction after drain recorded %v", got)
+	}
+}

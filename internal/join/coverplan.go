@@ -80,6 +80,12 @@ type coverPlan struct {
 type planScratch struct {
 	resolved []int // per boundary key: position of the first column key ≥ it
 
+	// Structure-of-arrays span list: per unique range, the resolved base-row
+	// bounds [spanLo[u], spanHi[u]) — the input the batched span folds
+	// consume in one pass instead of a per-range probe call.
+	spanLo []int
+	spanHi []int
+
 	cnt []int64 // per unique range: live row count
 	sum []float64
 	mn  []float64
@@ -254,6 +260,8 @@ func (p *coverPlan) memoryBytes() int {
 func (p *coverPlan) newScratch(numReg int, hasW bool) *planScratch {
 	sc := &planScratch{
 		resolved: make([]int, len(p.bkeys)),
+		spanLo:   make([]int, len(p.uniq)),
+		spanHi:   make([]int, len(p.uniq)),
 		cnt:      make([]int64, len(p.uniq)),
 		dCnt:     make([]int64, numReg),
 	}
@@ -304,12 +312,12 @@ func (j *PointIdxJoiner) AggregateMultiInto(ctx context.Context, aggs []Agg, wor
 			return ProbeStats{}, ctx.Err()
 		}
 		snap.SpanMulti(p.bkeys, sc.resolved)
-		baseLen := snap.BaseLen()
-		for u := range p.uniq {
-			if u&(cancelStride-1) == 0 && canceled(done) {
+		resolveSpans(p, sc, snap.BaseLen())
+		for lo, n := 0, len(p.uniq); lo < n; lo += cancelStride {
+			if canceled(done) {
 				return ProbeStats{}, ctx.Err()
 			}
-			probeRange(snap, p, sc, needs, u, baseLen)
+			probeRanges(snap, sc, needs, lo, min(lo+cancelStride, n))
 		}
 	}
 
@@ -372,50 +380,58 @@ func (j *PointIdxJoiner) resolveAndProbe(ctx context.Context, snap *pointstore.S
 	if err != nil {
 		return err
 	}
-	baseLen := snap.BaseLen()
+	resolveSpans(p, sc, snap.BaseLen())
 	spanLen := func(u int) int64 {
-		i := sc.resolved[p.loB[u]]
-		k := baseLen
-		if p.hiB[u] >= 0 {
-			k = sc.resolved[p.hiB[u]]
-		}
 		// The +16 floor charges the fixed per-range work (tombstone searches,
 		// prefix lookups) so empty spans still count toward balance.
-		return int64(k-i) + 16
+		return int64(sc.spanHi[u]-sc.spanLo[u]) + 16
 	}
 	shards := pool.SplitWeighted(len(p.uniq), workers, spanLen, sc.shards)
 	sc.shards = shards
 	return pool.RunCtx(ctx, len(shards), len(shards), func(_, si int) error {
 		done := ctx.Done()
-		for u := shards[si][0]; u < shards[si][1]; u++ {
-			if u&(cancelStride-1) == 0 && canceled(done) {
+		for lo := shards[si][0]; lo < shards[si][1]; lo += cancelStride {
+			if canceled(done) {
 				return ctx.Err()
 			}
-			probeRange(snap, p, sc, needs, u, baseLen)
+			probeRanges(snap, sc, needs, lo, min(lo+cancelStride, shards[si][1]))
 		}
 		return nil
 	})
 }
 
-// probeRange computes one unique range's span aggregates into the scratch
-// columns — the shared values every posting region folds from.
+// resolveSpans turns the resolved boundary positions into the per-range SoA
+// span list [spanLo[u], spanHi[u]): the hiB = -1 sentinel becomes the column
+// end. One branchy pass here buys branch-free batched folds below.
 //
 //distbound:noalloc
-func probeRange(snap *pointstore.Snapshot, p *coverPlan, sc *planScratch, needs aggNeeds, u, baseLen int) {
-	i := sc.resolved[p.loB[u]]
-	k := baseLen
-	if p.hiB[u] >= 0 {
-		k = sc.resolved[p.hiB[u]]
+func resolveSpans(p *coverPlan, sc *planScratch, baseLen int) {
+	for u := range p.uniq {
+		sc.spanLo[u] = sc.resolved[p.loB[u]]
+		if p.hiB[u] >= 0 {
+			sc.spanHi[u] = sc.resolved[p.hiB[u]]
+		} else {
+			sc.spanHi[u] = baseLen
+		}
 	}
-	sc.cnt[u] = int64(snap.CountSpan(i, k))
+}
+
+// probeRanges computes the span aggregates of unique ranges [lo, hi) into the
+// scratch columns — the shared values every posting region folds from — via
+// the batched span folds, one pass per needed aggregate column.
+//
+//distbound:noalloc
+func probeRanges(snap *pointstore.Snapshot, sc *planScratch, needs aggNeeds, lo, hi int) {
+	los, his := sc.spanLo[lo:hi], sc.spanHi[lo:hi]
+	snap.CountSpans(los, his, sc.cnt[lo:hi])
 	if needs.sum {
-		sc.sum[u] = snap.SumSpan(i, k)
+		snap.SumSpans(los, his, sc.sum[lo:hi])
 	}
 	if needs.min {
-		sc.mn[u] = snap.MinSpan(i, k)
+		snap.MinSpans(los, his, sc.mn[lo:hi])
 	}
 	if needs.max {
-		sc.mx[u] = snap.MaxSpan(i, k)
+		snap.MaxSpans(los, his, sc.mx[lo:hi])
 	}
 }
 

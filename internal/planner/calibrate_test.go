@@ -1,0 +1,78 @@
+package planner
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"distbound/internal/data"
+)
+
+// TestCalibrateEnvelope pins the calibration contract: every fitted constant
+// is positive and lands within the [default/8, default×8] envelope — noisy
+// CI timers included — and the result is flagged Calibrated.
+func TestCalibrateEnvelope(t *testing.T) {
+	m, err := Calibrate(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Calibrated {
+		t.Fatal("Calibrate returned a model without the Calibrated flag")
+	}
+	def := DefaultCostModel()
+	checks := []struct {
+		name      string
+		got, want float64
+	}{
+		{"TrieLookup", m.TrieLookup, def.TrieLookup},
+		{"TrieCellBuild", m.TrieCellBuild, def.TrieCellBuild},
+		{"TreePointQuery", m.TreePointQuery, def.TreePointQuery},
+		{"PIPPerVertex", m.PIPPerVertex, def.PIPPerVertex},
+		{"PixelWrite", m.PixelWrite, def.PixelWrite},
+		{"PointScatter", m.PointScatter, def.PointScatter},
+		{"RangeProbe", m.RangeProbe, def.RangeProbe},
+		{"DeltaProbe", m.DeltaProbe, def.DeltaProbe},
+	}
+	for _, c := range checks {
+		if !(c.got >= c.want/calEnvelope && c.got <= c.want*calEnvelope) {
+			t.Errorf("%s = %v escaped the envelope [%v, %v]",
+				c.name, c.got, c.want/calEnvelope, c.want*calEnvelope)
+		}
+	}
+}
+
+// TestCalibrateCanceled pins prompt cancellation: a pre-canceled context
+// returns ctx.Err() and the untouched defaults.
+func TestCalibrateCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	m, err := Calibrate(ctx)
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if m.Calibrated {
+		t.Fatal("canceled Calibrate returned a calibrated model")
+	}
+	if m != DefaultCostModel() {
+		t.Fatalf("canceled Calibrate did not return the defaults: %+v", m)
+	}
+}
+
+// TestCalibratedExplainLine pins the Explain surface: a plan chosen by a
+// calibrated model ends with the calibrated cost-model line, the exact-plan
+// early path included.
+func TestCalibratedExplainLine(t *testing.T) {
+	m, err := Calibrate(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	regions := data.Regions(data.Census(1, 100))
+	p := m.Choose(Query{NumPoints: 100_000, Regions: regions, Bound: 10})
+	if !strings.HasSuffix(p.Explain(), "cost-model: calibrated") {
+		t.Errorf("calibrated plan Explain:\n%s", p.Explain())
+	}
+	p = m.Choose(Query{NumPoints: 100_000, Regions: regions, Bound: 0})
+	if !strings.HasSuffix(p.Explain(), "cost-model: calibrated") {
+		t.Errorf("calibrated exact plan Explain:\n%s", p.Explain())
+	}
+}

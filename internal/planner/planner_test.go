@@ -158,8 +158,11 @@ func TestExplain(t *testing.T) {
 	if !strings.Contains(out, "*") {
 		t.Error("Explain does not mark the chosen plan")
 	}
-	if len(strings.Split(out, "\n")) != 3 {
-		t.Errorf("Explain should list 3 strategies:\n%s", out)
+	if len(strings.Split(out, "\n")) != 4 {
+		t.Errorf("Explain should list 3 strategies plus the cost-model line:\n%s", out)
+	}
+	if !strings.HasSuffix(out, "cost-model: default") {
+		t.Errorf("Explain should end with the cost-model line:\n%s", out)
 	}
 	if Strategy(0).String() != "exact(R*)" || StrategyACT.String() != "act" || StrategyBRJ.String() != "brj" {
 		t.Error("strategy names wrong")

@@ -1,0 +1,361 @@
+package pointstore
+
+import (
+	"math/rand"
+	"slices"
+	"sort"
+	"testing"
+
+	"distbound/internal/geom"
+	"distbound/internal/sfc"
+)
+
+// compactSeqRef replicates the pre-parallel compaction path verbatim: filter
+// base survivors and live delta rows into flat columns, comparison-sort an
+// order vector by (key, ID), gather serially, and fill a flat byID map. It is
+// the oracle the parity test and BenchmarkCompact's sequential leg measure
+// the parallel path against.
+func compactSeqRef(s *Snapshot, d sfc.Domain, c sfc.Curve, dropped int, hasW bool) (*Snapshot, map[uint64]int) {
+	n := s.LiveLen()
+	keys := make([]uint64, 0, n)
+	ids := make([]uint64, 0, n)
+	pts := make([]geom.Point, 0, n)
+	var ws []float64
+	if hasW {
+		ws = make([]float64, 0, n)
+	}
+	ti := 0
+	for row := range s.baseIDs {
+		if ti < len(s.tombPos) && s.tombPos[ti] == row {
+			ti++
+			continue
+		}
+		keys = append(keys, s.base.keys[row])
+		ids = append(ids, s.baseIDs[row])
+		pts = append(pts, s.basePts[row])
+		if hasW {
+			ws = append(ws, s.base.weights[row])
+		}
+	}
+	di := 0
+	for k := range s.deltaKeys {
+		if di < len(s.deltaDead) && s.deltaDead[di] == k {
+			di++
+			continue
+		}
+		keys = append(keys, s.deltaKeys[k])
+		ids = append(ids, s.deltaIDs[k])
+		pts = append(pts, s.deltaPts[k])
+		if hasW {
+			ws = append(ws, s.deltaWs[k])
+		}
+	}
+	ord := make([]int, len(keys))
+	for i := range ord {
+		ord[i] = i
+	}
+	sort.Slice(ord, func(a, b int) bool {
+		if keys[ord[a]] != keys[ord[b]] {
+			return keys[ord[a]] < keys[ord[b]]
+		}
+		return ids[ord[a]] < ids[ord[b]]
+	})
+	sk := make([]uint64, len(keys))
+	si := make([]uint64, len(keys))
+	sp := make([]geom.Point, len(keys))
+	var sw []float64
+	if hasW {
+		sw = make([]float64, len(keys))
+	}
+	byID := make(map[uint64]int, len(keys))
+	for i, j := range ord {
+		sk[i], si[i], sp[i] = keys[j], ids[j], pts[j]
+		if hasW {
+			sw[i] = ws[j]
+		}
+		byID[si[i]] = i
+	}
+	return &Snapshot{
+		base:    newStoreSorted(sk, sw, d, c, dropped),
+		baseIDs: si,
+		basePts: sp,
+		gen:     s.gen + 1,
+	}, byID
+}
+
+// requireSnapshotBitIdentical fails unless the two snapshots' base stores and
+// co-sorted columns are bit-for-bit equal: keys, IDs, weights, points, prefix
+// sums, and sparse block min/max.
+func requireSnapshotBitIdentical(t *testing.T, got, want *Snapshot) {
+	t.Helper()
+	if !slices.Equal(got.base.keys, want.base.keys) {
+		t.Fatal("keys differ")
+	}
+	if !slices.Equal(got.baseIDs, want.baseIDs) {
+		t.Fatal("IDs differ")
+	}
+	if !slices.Equal(got.base.weights, want.base.weights) {
+		t.Fatal("weights differ")
+	}
+	if !slices.Equal(got.basePts, want.basePts) {
+		t.Fatal("points differ")
+	}
+	if !slices.Equal(got.base.prefix, want.base.prefix) {
+		t.Fatal("prefix sums differ")
+	}
+	if !slices.Equal(got.base.blockMin, want.base.blockMin) {
+		t.Fatal("block minima differ")
+	}
+	if !slices.Equal(got.base.blockMax, want.base.blockMax) {
+		t.Fatal("block maxima differ")
+	}
+	if got.gen != want.gen {
+		t.Fatalf("generation %d != %d", got.gen, want.gen)
+	}
+}
+
+// requireIndexMatches fails unless the sharded index holds exactly the flat
+// reference map.
+func requireIndexMatches(t *testing.T, got *idIndex, want map[uint64]int) {
+	t.Helper()
+	n := 0
+	for _, sh := range got.shards {
+		n += len(sh)
+	}
+	if n != len(want) {
+		t.Fatalf("index holds %d IDs, want %d", n, len(want))
+	}
+	for id, row := range want {
+		g, ok := got.get(id)
+		if !ok || g != row {
+			t.Fatalf("index[%d] = %d,%v; want %d", id, g, ok, row)
+		}
+	}
+}
+
+// dirtySnapshot builds a Mutable with nBase construction points, nDelta
+// appended points, and (when del is true) a sprinkle of base and delta
+// deletes, returning its snapshot — the input every compaction test feeds.
+func dirtySnapshot(t testing.TB, rng *rand.Rand, d sfc.Domain, nBase, nDelta int, weighted, del bool) *Mutable {
+	t.Helper()
+	var ws []float64
+	if weighted {
+		ws = eighths(rng, nBase)
+	}
+	m, err := NewMutable(randPts(rng, nBase), ws, d, sfc.Hilbert{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nDelta > 0 {
+		var dws []float64
+		if weighted {
+			dws = eighths(rng, nDelta)
+		}
+		if _, err := m.Append(randPts(rng, nDelta), dws); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if del {
+		ids := make([]uint64, 0, (nBase+nDelta)/10)
+		for id := 0; id < nBase+nDelta; id += 10 {
+			ids = append(ids, uint64(rng.Intn(nBase+nDelta)))
+		}
+		m.Delete(ids...)
+	}
+	return m
+}
+
+// TestCompactParity pins the parallel compaction bit-identical to the
+// sequential reference across worker counts, weighted and weightless stores,
+// and every dirty-state shape: delta only, tombstones only, both, and
+// duplicate curve keys.
+func TestCompactParity(t *testing.T) {
+	d := testDomain(t)
+	cases := []struct {
+		name           string
+		nBase, nDelta  int
+		weighted, dels bool
+	}{
+		{"delta-only", 4000, 1500, true, false},
+		{"tombstones-and-delta", 4000, 1500, true, true},
+		{"weightless", 3000, 1200, false, true},
+		{"tiny", 12, 5, true, true},
+		{"delta-dominant", 200, 9000, true, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(77))
+			m := dirtySnapshot(t, rng, d, tc.nBase, tc.nDelta, tc.weighted, tc.dels)
+			s := m.Snapshot()
+			want, wantByID := compactSeqRef(s, d, sfc.Hilbert{}, 0, tc.weighted)
+			for _, workers := range []int{1, 2, 3, 8, 0} {
+				got, gotByID := compactSnapshot(s, d, sfc.Hilbert{}, 0, tc.weighted, workers)
+				requireSnapshotBitIdentical(t, got, want)
+				requireIndexMatches(t, gotByID, wantByID)
+			}
+			// The Mutable's own Compact must install exactly the reference
+			// state too.
+			m.Compact()
+			requireSnapshotBitIdentical(t, m.Snapshot(), want)
+			requireIndexMatches(t, m.baseByID, wantByID)
+		})
+	}
+}
+
+// TestCompactParityDuplicateKeys forces heavy key collisions (a handful of
+// distinct grid cells) so the stable tie-break on ID — which the radix sort
+// must preserve without ever comparing IDs — carries the ordering.
+func TestCompactParityDuplicateKeys(t *testing.T) {
+	d := testDomain(t)
+	rng := rand.New(rand.NewSource(9))
+	n := 20000
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		// 16 distinct positions: thousands of rows per curve key.
+		pts[i] = geom.Pt(float64(rng.Intn(4))*256+1, float64(rng.Intn(4))*256+1)
+	}
+	m, err := NewMutable(pts[:n/2], eighths(rng, n/2), d, sfc.Hilbert{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Append(pts[n/2:], eighths(rng, n/2)); err != nil {
+		t.Fatal(err)
+	}
+	s := m.Snapshot()
+	want, wantByID := compactSeqRef(s, d, sfc.Hilbert{}, 0, true)
+	for _, workers := range []int{1, 4, 0} {
+		got, gotByID := compactSnapshot(s, d, sfc.Hilbert{}, 0, true, workers)
+		requireSnapshotBitIdentical(t, got, want)
+		requireIndexMatches(t, gotByID, wantByID)
+	}
+}
+
+// TestSortColumnsByKeyMatchesComparison drives the radix path directly over
+// adversarial key distributions — uniform, single-byte, all-equal, and
+// high-byte-constant — at sizes above the parallel threshold.
+func TestSortColumnsByKeyMatchesComparison(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := radixParallelMin * 3
+	shapes := map[string]func() uint64{
+		"uniform":   rng.Uint64,
+		"one-byte":  func() uint64 { return uint64(rng.Intn(256)) },
+		"all-equal": func() uint64 { return 42 },
+		"mid-bytes": func() uint64 { return uint64(rng.Intn(1<<20)) << 16 },
+	}
+	for name, gen := range shapes {
+		t.Run(name, func(t *testing.T) {
+			keys := make([]uint64, n)
+			ws := make([]float64, n)
+			ids := make([]uint64, n)
+			pts := make([]geom.Point, n)
+			for i := range keys {
+				keys[i] = gen()
+				ws[i] = float64(i%97) / 8
+				ids[i] = uint64(i)
+				pts[i] = geom.Pt(float64(i), float64(i))
+			}
+			wk, ww, wi, wp := sortColumnsByKey(keys, ws, ids, pts, 1)
+			gk, gw, gi, gp := sortColumnsByKey(keys, ws, ids, pts, 8)
+			if !slices.Equal(gk, wk) || !slices.Equal(gi, wi) || !slices.Equal(gw, ww) || !slices.Equal(gp, wp) {
+				t.Fatal("parallel radix sort diverged from sequential comparison sort")
+			}
+			if !sort.SliceIsSorted(gk, func(a, b int) bool { return gk[a] < gk[b] }) {
+				t.Fatal("keys not sorted")
+			}
+			for i := 1; i < n; i++ {
+				if gk[i] == gk[i-1] && gi[i] < gi[i-1] {
+					t.Fatalf("IDs out of order within equal keys at row %d", i)
+				}
+			}
+		})
+	}
+}
+
+// TestCompactNoOpSkipsRebuild pins the generation-bump fast path: when every
+// pending delta row is dead and no base row is tombstoned, Compact must
+// republish the existing base columns (pointer-identical — no resort, no
+// index rebuild) under a new generation, and the live-ID index must keep
+// serving deletes.
+func TestCompactNoOpSkipsRebuild(t *testing.T) {
+	d := testDomain(t)
+	rng := rand.New(rand.NewSource(5))
+	m, err := NewMutable(randPts(rng, 500), eighths(rng, 500), d, sfc.Hilbert{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, err := m.Append(randPts(rng, 40), eighths(rng, 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Delete(ids...); got != len(ids) {
+		t.Fatalf("deleted %d delta rows, want %d", got, len(ids))
+	}
+	before := m.Snapshot()
+	idxBefore := m.baseByID
+	m.Compact()
+	after := m.Snapshot()
+	if after.gen != before.gen+1 {
+		t.Fatalf("generation %d, want %d", after.gen, before.gen+1)
+	}
+	if after.base != before.base {
+		t.Fatal("no-op compaction rebuilt the base store; expected the columns to be republished as-is")
+	}
+	if &after.baseIDs[0] != &before.baseIDs[0] || &after.basePts[0] != &before.basePts[0] {
+		t.Fatal("no-op compaction copied the ID or point columns")
+	}
+	if m.baseByID != idxBefore {
+		t.Fatal("no-op compaction rebuilt the live-ID index")
+	}
+	if after.DeltaLen() != 0 || after.Tombstones() != 0 {
+		t.Fatalf("no-op compaction left pending state: %d delta, %d tombstones", after.DeltaLen(), after.Tombstones())
+	}
+	// The preserved index must still resolve base IDs.
+	if got := m.Delete(7); got != 1 {
+		t.Fatalf("delete through preserved index removed %d rows, want 1", got)
+	}
+	// The Delete above left one tombstone, so the next Compact really
+	// compacts and bumps the generation…
+	g := m.Gen()
+	m.Compact()
+	if m.Gen() != g+1 {
+		t.Fatalf("generation %d, want %d", m.Gen(), g+1)
+	}
+	// …and a fully compact store (no delta, no tombstones) keeps the original
+	// early exit: no new snapshot at all.
+	s := m.Snapshot()
+	m.Compact()
+	if m.Snapshot() != s {
+		t.Fatal("compacting an already-compact store published a new snapshot")
+	}
+}
+
+// BenchmarkCompact is the acceptance head-to-head: one compaction of a 200k
+// base with a 50k un-sorted delta tail, sequential reference vs the parallel
+// radix path. The acceptance bar is ≥ 2× on ≥ 4 cores.
+func BenchmarkCompact(b *testing.B) {
+	d, err := sfc.NewDomain(geom.Pt(0, 0), 1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	m := dirtySnapshot(b, rng, d, 200_000, 50_000, true, true)
+	s := m.Snapshot()
+	b.Run("sequential", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			snap, byID := compactSeqRef(s, d, sfc.Hilbert{}, 0, true)
+			if snap.BaseLen() == 0 || len(byID) == 0 {
+				b.Fatal("empty compaction result")
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			snap, byID := compactSnapshot(s, d, sfc.Hilbert{}, 0, true, 0)
+			if snap.BaseLen() == 0 || byID == nil {
+				b.Fatal("empty compaction result")
+			}
+		}
+	})
+}

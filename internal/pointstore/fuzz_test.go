@@ -2,6 +2,7 @@ package pointstore
 
 import (
 	"math"
+	"sort"
 	"testing"
 
 	"distbound/internal/geom"
@@ -21,7 +22,11 @@ import (
 // the reference bit-for-bit at every step, pre- and post-compaction. Every
 // range check also resolves its boundaries through the batch SpanMulti
 // sweep and requires it to agree with Span — the invariant the cover-plan
-// execution's boundary resolution rests on.
+// execution's boundary resolution rests on. Every compaction additionally
+// cross-checks the radix-sort-and-merge machinery against a from-scratch
+// rebuild of the surviving rows: the published base must be bit-identical
+// (keys, IDs, weights, points, prefix sums, block extremes) to a stable
+// (key, ID) sort of the reference.
 func FuzzMutableOps(f *testing.F) {
 	f.Add([]byte("012345678"))
 	f.Add([]byte("\x00\x10\x20\x01\x00\x00\x02\x00\x00\x03\x40\xff"))
@@ -56,6 +61,7 @@ func FuzzMutableOps(f *testing.F) {
 		type rec struct {
 			key  uint64
 			w    float64
+			pt   geom.Point
 			live bool
 		}
 		var issued []rec // index == ID
@@ -64,7 +70,46 @@ func FuzzMutableOps(f *testing.F) {
 			if !ok {
 				t.Fatal("seed point outside domain")
 			}
-			issued = append(issued, rec{key: pos, w: seedWs[i], live: true})
+			issued = append(issued, rec{key: pos, w: seedWs[i], pt: p, live: true})
+		}
+
+		// verifyCompacted cross-checks a just-compacted store against a
+		// from-scratch rebuild: surviving rows stably sorted by key (IDs
+		// ascend within equal keys, the order both installBase call sites
+		// guarantee) must reproduce the published base bit-for-bit.
+		verifyCompacted := func() {
+			t.Helper()
+			s := m.Snapshot()
+			if s.DeltaLen() != 0 || s.Tombstones() != 0 {
+				t.Fatalf("compaction left delta=%d tombstones=%d", s.DeltaLen(), s.Tombstones())
+			}
+			type row struct {
+				key uint64
+				id  uint64
+				w   float64
+				pt  geom.Point
+			}
+			var rows []row
+			for id, r := range issued {
+				if r.live {
+					rows = append(rows, row{key: r.key, id: uint64(id), w: r.w, pt: r.pt})
+				}
+			}
+			sort.SliceStable(rows, func(a, b int) bool { return rows[a].key < rows[b].key })
+			keys := make([]uint64, len(rows))
+			ws := make([]float64, len(rows))
+			ids := make([]uint64, len(rows))
+			pts := make([]geom.Point, len(rows))
+			for i, r := range rows {
+				keys[i], ws[i], ids[i], pts[i] = r.key, r.w, r.id, r.pt
+			}
+			want := &Snapshot{
+				base:    newStoreSorted(keys, ws, d, c, m.dropped),
+				baseIDs: ids,
+				basePts: pts,
+				gen:     s.Gen(),
+			}
+			requireSnapshotBitIdentical(t, s, want)
 		}
 
 		check := func(lo, hi uint64) {
@@ -131,7 +176,7 @@ func FuzzMutableOps(f *testing.F) {
 					t.Fatalf("append assigned ID %d, want %d", ids[0], len(issued))
 				}
 				pos, _ := d.LeafPos(c, p)
-				issued = append(issued, rec{key: pos, w: w, live: true})
+				issued = append(issued, rec{key: pos, w: w, pt: p, live: true})
 			case 1:
 				id := uint64(int(b1)*256+int(b2)) % uint64(len(issued))
 				wantLive := issued[id].live
@@ -149,6 +194,7 @@ func FuzzMutableOps(f *testing.F) {
 				if m.Pending() != 0 {
 					t.Fatalf("pending %d after compaction", m.Pending())
 				}
+				verifyCompacted()
 			case 3:
 				lo := uint64(b1) << 56
 				hi := uint64(b2)<<56 + (1<<56 - 1)
@@ -161,6 +207,7 @@ func FuzzMutableOps(f *testing.F) {
 		}
 		// The end state must survive a final compaction bit-for-bit.
 		m.Compact()
+		verifyCompacted()
 		check(0, math.MaxUint64)
 		live := 0
 		for _, r := range issued {

@@ -37,7 +37,7 @@ type Mutable struct {
 
 	mu        sync.Mutex // serializes mutations and compaction
 	snap      atomic.Pointer[Snapshot]
-	baseByID  map[uint64]int // live base rows by point ID
+	baseByID  *idIndex       // live base rows by point ID, sharded for parallel rebuild
 	deltaByID map[uint64]int // live delta rows by point ID
 	nextID    uint64
 }
@@ -117,34 +117,11 @@ func validateWeights(pts []geom.Point, weights []float64) error {
 
 // installBase sorts the columns by (key, ID) and publishes a fresh-base
 // snapshot with empty delta and tombstones. Called at construction and from
-// Compact, with mu held in the latter case.
+// Compact, with mu held in the latter case. The input ids must be ascending
+// (sortColumnsByKey's precondition); both callers satisfy it.
 func (m *Mutable) installBase(keys []uint64, ws []float64, ids []uint64, pts []geom.Point, gen uint64) {
-	ord := make([]int, len(keys))
-	for i := range ord {
-		ord[i] = i
-	}
-	sort.Slice(ord, func(a, b int) bool {
-		if keys[ord[a]] != keys[ord[b]] {
-			return keys[ord[a]] < keys[ord[b]]
-		}
-		return ids[ord[a]] < ids[ord[b]]
-	})
-	sk := make([]uint64, len(keys))
-	si := make([]uint64, len(keys))
-	sp := make([]geom.Point, len(keys))
-	var sw []float64
-	if ws != nil {
-		sw = make([]float64, len(keys))
-	}
-	byID := make(map[uint64]int, len(keys))
-	for i, j := range ord {
-		sk[i], si[i], sp[i] = keys[j], ids[j], pts[j]
-		if ws != nil {
-			sw[i] = ws[j]
-		}
-		byID[si[i]] = i
-	}
-	m.baseByID = byID
+	sk, sw, si, sp := sortColumnsByKey(keys, ws, ids, pts, 0)
+	m.baseByID = buildIDIndex(si, 0)
 	m.deltaByID = map[uint64]int{}
 	m.snap.Store(&Snapshot{
 		base:    newStoreSorted(sk, sw, m.domain, m.curve, m.dropped),
@@ -262,9 +239,9 @@ func (m *Mutable) Delete(ids ...uint64) int {
 	s := m.snap.Load()
 	var newTombs, newDead []int
 	for _, id := range ids {
-		if row, ok := m.baseByID[id]; ok {
+		if row, ok := m.baseByID.get(id); ok {
 			newTombs = append(newTombs, row)
-			delete(m.baseByID, id)
+			m.baseByID.del(id)
 		} else if k, ok := m.deltaByID[id]; ok {
 			newDead = append(newDead, k)
 			delete(m.deltaByID, id)
@@ -322,6 +299,10 @@ func mergeSorted(old, add []int) []int {
 // see only the new base. Appends and deletes block for the duration (queries
 // never do), which is why a serving engine runs Compact from a background
 // goroutine. Compacting an already-compact store is a cheap no-op.
+//
+// The heavy lifting — sorting the delta tail, merging it with the surviving
+// base, rebuilding the ID index — runs parallel across GOMAXPROCS via
+// compactSnapshot, shrinking the write pause that Append and Delete wait out.
 func (m *Mutable) Compact() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -329,41 +310,55 @@ func (m *Mutable) Compact() {
 	if len(s.deltaKeys) == 0 && len(s.tombPos) == 0 {
 		return
 	}
-	n := s.LiveLen()
-	keys := make([]uint64, 0, n)
-	ids := make([]uint64, 0, n)
-	pts := make([]geom.Point, 0, n)
-	var ws []float64
-	if m.hasW {
-		ws = make([]float64, 0, n)
+	if len(s.tombPos) == 0 && s.DeltaLiveLen() == 0 {
+		// Every delta row is dead and nothing is tombstoned: the base columns
+		// and the live-ID index are already exact. Republish them under a new
+		// generation — dropping the dead tail — without resorting anything or
+		// rebuilding the index.
+		m.deltaByID = map[uint64]int{}
+		m.snap.Store(&Snapshot{
+			base: s.base, baseIDs: s.baseIDs, basePts: s.basePts,
+			gen: s.gen + 1,
+		})
+		return
 	}
-	ti := 0
-	for row := range s.baseIDs {
-		if ti < len(s.tombPos) && s.tombPos[ti] == row {
-			ti++
-			continue
-		}
-		keys = append(keys, s.base.keys[row])
-		ids = append(ids, s.baseIDs[row])
-		pts = append(pts, s.basePts[row])
-		if m.hasW {
-			ws = append(ws, s.base.weights[row])
+	ns, byID := compactSnapshot(s, m.domain, m.curve, m.dropped, m.hasW, 0)
+	m.baseByID = byID
+	m.deltaByID = map[uint64]int{}
+	m.snap.Store(ns)
+}
+
+// compactSnapshot builds the post-compaction snapshot of s: base survivors
+// keep their (key, ID) order, live delta rows are radix-sorted once, the two
+// runs merge in parallel partitions, and the live-ID index rebuilds
+// shard-wise. Pure — it reads s and touches nothing else — so benchmarks and
+// parity tests can drive it directly; workers ≤ 0 selects GOMAXPROCS. The
+// output permutation is the unique (key, ID) order, bit-identical to the
+// sequential reference for every worker count.
+func compactSnapshot(s *Snapshot, d sfc.Domain, c sfc.Curve, dropped int, hasW bool, workers int) (*Snapshot, *idIndex) {
+	base := cols{keys: s.base.keys, ws: s.base.weights, ids: s.baseIDs, pts: s.basePts}
+	if len(s.tombPos) > 0 {
+		base = filterBase(s, hasW)
+	}
+	var out cols
+	if s.DeltaLiveLen() == 0 {
+		out = base
+	} else {
+		delta := liveDelta(s, hasW)
+		delta.keys, delta.ws, delta.ids, delta.pts = sortColumnsByKey(delta.keys, delta.ws, delta.ids, delta.pts, workers)
+		if len(base.keys) == 0 {
+			out = delta
+		} else {
+			out = mergeSortedColumns(base, delta, hasW, workers)
 		}
 	}
-	di := 0
-	for k := range s.deltaKeys {
-		if di < len(s.deltaDead) && s.deltaDead[di] == k {
-			di++
-			continue
-		}
-		keys = append(keys, s.deltaKeys[k])
-		ids = append(ids, s.deltaIDs[k])
-		pts = append(pts, s.deltaPts[k])
-		if m.hasW {
-			ws = append(ws, s.deltaWs[k])
-		}
+	ns := &Snapshot{
+		base:    newStoreSorted(out.keys, out.ws, d, c, dropped),
+		baseIDs: out.ids,
+		basePts: out.pts,
+		gen:     s.gen + 1,
 	}
-	m.installBase(keys, ws, ids, pts, s.gen+1)
+	return ns, buildIDIndex(out.ids, workers)
 }
 
 // Gen returns the snapshot's compaction generation.
