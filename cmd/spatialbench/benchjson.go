@@ -25,6 +25,7 @@ type benchJSON struct {
 	MultiAgg      []multiAggComparison  `json:"multiagg_vs_sequential,omitempty"`
 	CoverPlan     []coverPlanComparison `json:"coverplan_vs_perregion,omitempty"`
 	Calibration   *calibrationJSON      `json:"calibration,omitempty"`
+	Persistence   *persistenceJSON      `json:"persistence,omitempty"`
 }
 
 type benchConfigJSON struct {
@@ -48,7 +49,7 @@ func writeBenchJSON(cfg loadConfig, queries int, elapsed time.Duration,
 	pct func(float64) time.Duration, max time.Duration,
 	strategies map[distbound.Strategy]int, comparisons []pathComparison,
 	multiAggs []multiAggComparison, coverPlans []coverPlanComparison,
-	calibration *calibrationJSON) error {
+	calibration *calibrationJSON, persistence *persistenceJSON) error {
 	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1e3 }
 	name := "spatialbench-load"
 	queryPoints := cfg.queryPoints
@@ -94,6 +95,7 @@ func writeBenchJSON(cfg loadConfig, queries int, elapsed time.Duration,
 	doc.MultiAgg = multiAggs
 	doc.CoverPlan = coverPlans
 	doc.Calibration = calibration
+	doc.Persistence = persistence
 	out, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err

@@ -39,6 +39,11 @@ type loadConfig struct {
 	multiagg    bool
 	jsonPath    string
 
+	// persist checkpoints the resident dataset to disk after the load
+	// phase, logs a mutation tail, reopens it in a second engine and
+	// verifies bit-identical serving — the durability smoke test.
+	persist bool
+
 	ingest           bool
 	ingestBatch      int
 	compactThreshold int
@@ -716,8 +721,17 @@ func runLoad(cfg loadConfig) error {
 			return fmt.Errorf("client %d aborted: %w (numbers above are partial)", c, err)
 		}
 	}
+	// The persistence phase runs after the timed load so its mutation tail
+	// and checkpoint compaction cannot perturb the throughput numbers.
+	var persistence *persistenceJSON
+	if cfg.persist {
+		var err error
+		if persistence, err = runPersistPhase(e, ds, pool, regions, cfg); err != nil {
+			return fmt.Errorf("persistence phase: %w", err)
+		}
+	}
 	if cfg.jsonPath != "" {
-		if err := writeBenchJSON(cfg, len(all), elapsed, pct, all[len(all)-1], strategies, comparisons, multiAggs, coverPlans, calibration); err != nil {
+		if err := writeBenchJSON(cfg, len(all), elapsed, pct, all[len(all)-1], strategies, comparisons, multiAggs, coverPlans, calibration, persistence); err != nil {
 			return fmt.Errorf("writing %s: %w", cfg.jsonPath, err)
 		}
 		fmt.Printf("wrote %s\n", cfg.jsonPath)

@@ -87,6 +87,7 @@ func main() {
 		workers     = flag.Int("workers", 1, "load mode: intra-query worker count, or batch-pool size with -batch (0 = GOMAXPROCS)")
 		queryPoints = flag.Int("querypoints", 50_000, "load mode: points per query, sliced from the pool (0 = whole pool)")
 		resident    = flag.Bool("resident", false, "load mode: register the pool as a resident dataset and drive AggregateDataset")
+		persist     = flag.Bool("persist", false, "load mode: after the run, checkpoint the resident dataset to disk, log a mutation tail, reopen it in a second engine and verify bit-identical serving (requires -resident)")
 		multiagg    = flag.Bool("multiagg", false, "load mode: head-to-head of one Do carrying all five aggregates vs five sequential calls, per bound")
 		jsonPath    = flag.String("json", "", "load mode: write throughput/latency results to this path as BENCH_*.json output")
 
@@ -100,8 +101,12 @@ func main() {
 	)
 	flag.Parse()
 
-	if (*resident || *ingest || *multiagg || *calibrate || *jsonPath != "" || *skew > 0) && *concurrency <= 0 {
-		fmt.Fprintln(os.Stderr, "-resident, -ingest, -multiagg, -calibrate, -skew and -json require load mode (-concurrency N > 0)")
+	if (*resident || *ingest || *multiagg || *calibrate || *persist || *jsonPath != "" || *skew > 0) && *concurrency <= 0 {
+		fmt.Fprintln(os.Stderr, "-resident, -ingest, -multiagg, -calibrate, -persist, -skew and -json require load mode (-concurrency N > 0)")
+		os.Exit(2)
+	}
+	if *persist && !*resident {
+		fmt.Fprintln(os.Stderr, "-persist checkpoints the resident dataset; it requires -resident")
 		os.Exit(2)
 	}
 	if *skew > 0 && *ingest {
@@ -136,6 +141,7 @@ func main() {
 			workers:          *workers,
 			queryPoints:      *queryPoints,
 			resident:         *resident,
+			persist:          *persist,
 			multiagg:         *multiagg,
 			jsonPath:         *jsonPath,
 			ingest:           *ingest,

@@ -1,0 +1,161 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"distbound"
+)
+
+// persistenceJSON is the -persist phase's section of the BENCH_*.json
+// document: durability costs (checkpoint, log appends, reopen/replay) and
+// the recovered engine's warm serving latency, all from one process
+// handing a dataset to a second engine through the filesystem.
+type persistenceJSON struct {
+	PersistMS     float64 `json:"persist_ms"`
+	SnapshotMB    float64 `json:"snapshot_mb"`
+	TailAppends   int     `json:"tail_appends"`
+	TailDeletes   int     `json:"tail_deletes"`
+	AppendMS      float64 `json:"append_ms"`
+	WALRecords    uint64  `json:"wal_records"`
+	WALBytes      int64   `json:"wal_bytes"`
+	ReopenMS      float64 `json:"reopen_ms"`
+	ReplayRecords uint64  `json:"replay_records"`
+	MMapped       bool    `json:"mmapped"`
+	BoundsChecked int     `json:"bounds_checked"`
+	WarmQueryMS   float64 `json:"warm_query_ms"`
+}
+
+// runPersistPhase checkpoints the resident dataset to a scratch directory,
+// logs a mutation tail, reopens it in a second engine as a restart would,
+// verifies the recovered engine answers every configured bound
+// bit-identically to the live one, and times each leg. A divergence is a
+// hard error: the phase doubles as the persistence smoke test in CI.
+func runPersistPhase(e *distbound.Engine, ds *distbound.Dataset, pool distbound.PointSet, regions []distbound.Region, cfg loadConfig) (*persistenceJSON, error) {
+	dir, err := os.MkdirTemp("", "spatialbench-persist-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	doc := &persistenceJSON{}
+	t0 := time.Now()
+	if err := ds.Persist(dir, distbound.PersistConfig{}); err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	doc.PersistMS = float64(time.Since(t0).Microseconds()) / 1e3
+	doc.SnapshotMB = float64(ds.Stats().SnapshotBytes) / 1e6
+
+	// Log a mutation tail so the reopen below actually replays: re-append a
+	// slice of the pool (fresh IDs) and delete half of it again.
+	tail := cfg.numPoints / 100
+	if tail < 100 {
+		tail = 100
+	}
+	if tail > len(pool.Pts) {
+		tail = len(pool.Pts)
+	}
+	t0 = time.Now()
+	ids, err := ds.Append(pool.Pts[:tail], pool.Weights[:tail])
+	if err != nil {
+		return nil, fmt.Errorf("logged append: %w", err)
+	}
+	ds.Delete(ids[:len(ids)/2]...)
+	if err := ds.Sync(); err != nil {
+		return nil, fmt.Errorf("sync: %w", err)
+	}
+	doc.AppendMS = float64(time.Since(t0).Microseconds()) / 1e3
+	doc.TailAppends = tail
+	doc.TailDeletes = len(ids) / 2
+	st := ds.Stats()
+	doc.WALRecords, doc.WALBytes = st.WALRecords, st.WALBytes
+
+	ctx := context.Background()
+	ask := func(eng *distbound.Engine, target *distbound.Dataset, bound float64) (distbound.Response, error) {
+		return eng.Do(ctx, distbound.Request{
+			Dataset:     target,
+			Aggs:        []distbound.Agg{cfg.agg},
+			Bound:       bound,
+			Repetitions: cfg.repetitions,
+		})
+	}
+	var bounds []float64
+	for _, b := range cfg.bounds {
+		if b > 0 { // bound 0 is the exact strategy; it never touches the resident artifacts
+			bounds = append(bounds, b)
+		}
+	}
+	want := make([]distbound.Response, len(bounds))
+	for i, b := range bounds {
+		if want[i], err = ask(e, ds, b); err != nil {
+			return nil, fmt.Errorf("pre-shutdown bound %g: %w", b, err)
+		}
+	}
+
+	t0 = time.Now()
+	e2 := distbound.NewEngine(regions)
+	e2.SetWorkers(cfg.workers)
+	ds2, err := e2.OpenDataset("pool", dir, distbound.PersistConfig{})
+	if err != nil {
+		return nil, fmt.Errorf("reopen: %w", err)
+	}
+	doc.ReopenMS = float64(time.Since(t0).Microseconds()) / 1e3
+	st2 := ds2.Stats()
+	doc.ReplayRecords, doc.MMapped = st2.WALRecords, st2.MMapped
+
+	var warm time.Duration
+	for i, b := range bounds {
+		got, err := ask(e2, ds2, b) // cold: builds the cover
+		if err != nil {
+			return nil, fmt.Errorf("recovered bound %g: %w", b, err)
+		}
+		if err := identicalResults(want[i].Results[0], got.Results[0]); err != nil {
+			return nil, fmt.Errorf("recovered bound %g diverges from the pre-shutdown engine: %w", b, err)
+		}
+		got.Release()
+		t0 = time.Now()
+		if got, err = ask(e2, ds2, b); err != nil { // warm: serving latency
+			return nil, fmt.Errorf("warm recovered bound %g: %w", b, err)
+		}
+		warm += time.Since(t0)
+		got.Release()
+		want[i].Release()
+	}
+	doc.BoundsChecked = len(bounds)
+	if len(bounds) > 0 {
+		doc.WarmQueryMS = float64(warm.Microseconds()) / 1e3 / float64(len(bounds))
+	}
+
+	fmt.Printf("persistence: checkpoint %.1fms (%.1f MB), %d+%d tail mutations %.1fms (%d log records, %.1f KB), reopen %.1fms (replayed %d, mmap %v), warm query %.2fms — recovered engine bit-identical across %d bounds\n",
+		doc.PersistMS, doc.SnapshotMB, doc.TailAppends, doc.TailDeletes, doc.AppendMS,
+		doc.WALRecords, float64(doc.WALBytes)/1e3, doc.ReopenMS, doc.ReplayRecords, doc.MMapped,
+		doc.WarmQueryMS, doc.BoundsChecked)
+	return doc, nil
+}
+
+// identicalResults compares two per-region result columns bitwise — the
+// recovered engine must not drift by even a ULP from the live one.
+func identicalResults(a, b distbound.Result) error {
+	if len(a.Counts) != len(b.Counts) {
+		return fmt.Errorf("%d regions vs %d", len(a.Counts), len(b.Counts))
+	}
+	for i := range a.Counts {
+		if a.Counts[i] != b.Counts[i] {
+			return fmt.Errorf("region %d: count %d vs %d", i, a.Counts[i], b.Counts[i])
+		}
+	}
+	for _, cols := range [][2][]float64{{a.Sums, b.Sums}, {a.Extremes, b.Extremes}} {
+		if len(cols[0]) != len(cols[1]) {
+			return fmt.Errorf("column length %d vs %d", len(cols[0]), len(cols[1]))
+		}
+		for i := range cols[0] {
+			if math.Float64bits(cols[0][i]) != math.Float64bits(cols[1][i]) {
+				return fmt.Errorf("region %d: %x vs %x", i, cols[0][i], cols[1][i])
+			}
+		}
+	}
+	return nil
+}

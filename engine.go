@@ -11,6 +11,7 @@ import (
 	"distbound/internal/join"
 	"distbound/internal/planner"
 	"distbound/internal/pointstore"
+	"distbound/internal/pointstore/persist"
 )
 
 // Strategy identifies a physical plan for an aggregation query (§4).
@@ -290,6 +291,12 @@ type Dataset struct {
 	name string
 	src  *pointstore.Mutable
 
+	// dur, when set, binds the dataset to its on-disk snapshot + log (see
+	// Persist/OpenDataset in durable.go): mutations route through it so the
+	// log stays complete, and compactions checkpoint through it. Reads never
+	// touch it — queries keep loading src's snapshots directly.
+	dur atomic.Pointer[persist.Durable]
+
 	compactThreshold atomic.Int64
 	compacting       atomic.Bool
 
@@ -317,6 +324,29 @@ type DatasetStats struct {
 	// DeltaLive / DeltaDead split the un-compacted tail into rows still
 	// queryable and rows deleted again before compaction collected them.
 	DeltaLive, DeltaDead int
+
+	// Durable reports whether the dataset is bound to an on-disk snapshot +
+	// write-ahead log (Persist/OpenDataset); the fields below are zero
+	// otherwise.
+	Durable bool
+	// MMapped reports whether the base columns are served from the mapped
+	// snapshot file rather than heap copies.
+	MMapped bool
+	// SnapshotBytes is the snapshot file's size; WALRecords and WALBytes
+	// measure the log of mutations acknowledged since the last checkpoint.
+	SnapshotBytes int64
+	WALRecords    uint64
+	WALBytes      int64
+	// RecoveryWall is how long OpenDataset took to load, validate and
+	// replay this dataset; zero for a dataset persisted in this process.
+	RecoveryWall time.Duration
+	// DurableErr is the sticky wedge error: non-nil after a log write or
+	// sync failure, when further mutations are refused because the log no
+	// longer captures the acknowledged history. CheckpointErr is the most
+	// recent checkpoint failure; checkpoints are retried at the next
+	// compaction and do not wedge the dataset.
+	DurableErr    error
+	CheckpointErr error
 }
 
 // Name returns the registration name.
@@ -343,7 +373,7 @@ func (d *Dataset) Generation() uint64 { return d.src.Gen() }
 // Stats returns the dataset's current accounting snapshot.
 func (d *Dataset) Stats() DatasetStats {
 	s := d.src.Snapshot()
-	return DatasetStats{
+	st := DatasetStats{
 		Generation: s.Gen(),
 		Live:       s.LiveLen(),
 		Base:       s.BaseLen(),
@@ -351,6 +381,18 @@ func (d *Dataset) Stats() DatasetStats {
 		DeltaLive:  s.DeltaLiveLen(),
 		DeltaDead:  s.DeltaLen() - s.DeltaLiveLen(),
 	}
+	if dur := d.dur.Load(); dur != nil {
+		ps := dur.Stats()
+		st.Durable = true
+		st.MMapped = ps.MMapped
+		st.SnapshotBytes = ps.SnapshotBytes
+		st.WALRecords = ps.WALRecords
+		st.WALBytes = ps.WALBytes
+		st.RecoveryWall = ps.RecoveryWall
+		st.DurableErr = ps.Err
+		st.CheckpointErr = ps.CheckpointErr
+	}
+	return st
 }
 
 // Points returns a copy of the dataset's live points (and weights, when the
@@ -375,7 +417,13 @@ func (d *Dataset) Points() ([]Point, []float64) {
 // buffer until a compaction folds them into the sorted base. Crossing the
 // compaction threshold schedules a background compaction.
 func (d *Dataset) Append(pts []Point, weights []float64) ([]uint64, error) {
-	ids, err := d.src.Append(pts, weights)
+	var ids []uint64
+	var err error
+	if dur := d.dur.Load(); dur != nil {
+		ids, err = dur.Append(pts, weights)
+	} else {
+		ids, err = d.src.Append(pts, weights)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("distbound: appending to dataset %q: %w", d.name, err)
 	}
@@ -388,8 +436,18 @@ func (d *Dataset) Append(pts []Point, weights []float64) ([]uint64, error) {
 // 0..n-1 in input order (out-of-domain drops consume an ID without ever
 // being live); appended points carry the IDs Append returned. Deletions are
 // visible to every query issued after Delete returns.
+//
+// On a durable dataset a deletion that fails to reach the log still returns
+// its live count — the removal is visible in memory — but the dataset
+// wedges: Stats().DurableErr reports the failure and later mutations are
+// refused.
 func (d *Dataset) Delete(ids ...uint64) int {
-	n := d.src.Delete(ids...)
+	var n int
+	if dur := d.dur.Load(); dur != nil {
+		n, _ = dur.Delete(ids...) // error is sticky; surfaced via Stats().DurableErr
+	} else {
+		n = d.src.Delete(ids...)
+	}
 	if n > 0 {
 		d.maybeCompact()
 	}
@@ -414,7 +472,16 @@ func (d *Dataset) timedCompact() {
 	defer d.compactMu.Unlock()
 	before := d.src.Gen()
 	t0 := time.Now()
-	d.src.Compact()
+	if dur := d.dur.Load(); dur != nil {
+		// Durable datasets checkpoint instead: the same radix merge, then the
+		// result replaces the on-disk snapshot atomically and the log is
+		// retired. A checkpoint failure leaves the previous snapshot+log pair
+		// coherent and is retried at the next compaction; it is reported via
+		// Stats().CheckpointErr rather than wedging the dataset.
+		dur.Checkpoint() //nolint:errcheck // surfaced via Stats().CheckpointErr
+	} else {
+		d.src.Compact()
+	}
 	wall := time.Since(t0)
 	if d.src.Gen() != before {
 		d.compactWalls = append(d.compactWalls, wall)
@@ -518,11 +585,18 @@ func (e *Engine) Dataset(name string) (*Dataset, bool) {
 // store's identity, so they can never be served to a successor dataset and
 // simply age out of the bounded cover cache, releasing the store's memory
 // with them.
+// For a durable dataset the on-disk files stay behind — only the handle's
+// log is flushed and closed — so OpenDataset can resurrect it later.
 func (e *Engine) UnregisterPoints(name string) bool {
 	e.dsMu.Lock()
-	defer e.dsMu.Unlock()
-	_, ok := e.datasets[name]
+	ds, ok := e.datasets[name]
 	delete(e.datasets, name)
+	e.dsMu.Unlock()
+	if ok {
+		if dur := ds.dur.Load(); dur != nil {
+			dur.Close() //nolint:errcheck // flush-and-release; files stay valid
+		}
+	}
 	return ok
 }
 

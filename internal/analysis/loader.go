@@ -3,6 +3,7 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -122,8 +123,13 @@ func (l *Loader) Load(path string) (*Package, error) {
 }
 
 // LoadDir parses the non-test .go files of one directory and type-checks
-// them as the package with the given import path. Callers outside the module
-// tree (fixture runners) use it directly with an explicit path.
+// them as the package with the given import path. Files excluded by their
+// //go:build constraints or GOOS/GOARCH name suffixes for the current
+// platform are skipped, matching the file set `go build` would compile —
+// otherwise both halves of a platform pair (e.g. an mmap implementation
+// and its stub) land in one package and redeclare each other. Callers
+// outside the module tree (fixture runners) use it directly with an
+// explicit path.
 func (l *Loader) LoadDir(dir, path string) (*Package, error) {
 	ents, err := os.ReadDir(dir)
 	if err != nil {
@@ -134,6 +140,9 @@ func (l *Loader) LoadDir(dir, path string) (*Package, error) {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
 			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		if ok, err := build.Default.MatchFile(dir, name); err != nil || !ok {
 			continue
 		}
 		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil,

@@ -1,0 +1,95 @@
+// Columnar import/export hooks for the persistence layer: a snapshot's
+// compacted base rendered as flat columns, and the inverse constructor that
+// rebuilds a Mutable from columns read (or mmap'd) out of a snapshot file.
+package pointstore
+
+import (
+	"fmt"
+
+	"distbound/internal/geom"
+	"distbound/internal/sfc"
+)
+
+// BaseColumns is the flat columnar view of a snapshot's base: exactly the
+// payload a durable snapshot file carries. All slices are shared with the
+// snapshot (or, on the reopen path, with an mmap'd file) and must be treated
+// as read-only. Weights, Prefix, BlockMin and BlockMax are nil iff the
+// dataset is weightless; otherwise len(Prefix) == len(Keys)+1 and the block
+// columns hold ceil(len(Keys)/BlockSize) entries.
+type BaseColumns struct {
+	Keys []uint64
+	IDs  []uint64
+	Pts  []geom.Point
+
+	Weights  []float64
+	Prefix   []float64
+	BlockMin []float64
+	BlockMax []float64
+}
+
+// BaseColumns returns the snapshot's base columns. Tombstones and the delta
+// tail are NOT represented: persistence checkpoints call this only after a
+// compaction, when the base alone is the whole live dataset; other callers
+// must account for s.Tombstones() and the delta themselves.
+func (s *Snapshot) BaseColumns() BaseColumns {
+	return BaseColumns{
+		Keys: s.base.keys, IDs: s.baseIDs, Pts: s.basePts,
+		Weights: s.base.weights, Prefix: s.base.prefix,
+		BlockMin: s.base.blockMin, BlockMax: s.base.blockMax,
+	}
+}
+
+// NextID returns the ID the next appended point will receive — persisted in
+// a snapshot header so that WAL replay after a reopen reassigns exactly the
+// IDs the original appends returned.
+func (m *Mutable) NextID() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.nextID
+}
+
+// NewMutableFromColumns rebuilds a Mutable around already-sorted,
+// already-derived base columns — the reopen path of a persisted dataset. The
+// columns are installed as generation gen with an empty delta and no
+// tombstones; pin (an mmap handle, typically) is kept reachable for as long
+// as any snapshot can alias the columns. Only structural validity is checked
+// here — consistent lengths, strict (key, ID) order, IDs below nextID; byte-
+// level integrity is the caller's contract (the persist layer admits no
+// section whose checksum does not match).
+func NewMutableFromColumns(cols BaseColumns, d sfc.Domain, c sfc.Curve, dropped int, nextID, gen uint64, pin any) (*Mutable, error) {
+	n := len(cols.Keys)
+	if len(cols.IDs) != n || len(cols.Pts) != n {
+		return nil, fmt.Errorf("pointstore: column lengths disagree: %d keys, %d ids, %d points",
+			n, len(cols.IDs), len(cols.Pts))
+	}
+	hasW := cols.Weights != nil
+	if hasW {
+		nb := (n + BlockSize - 1) / BlockSize
+		if len(cols.Weights) != n || len(cols.Prefix) != n+1 ||
+			len(cols.BlockMin) != nb || len(cols.BlockMax) != nb {
+			return nil, fmt.Errorf("pointstore: derived column lengths disagree for %d rows: %d weights, %d prefix, %d/%d blocks",
+				n, len(cols.Weights), len(cols.Prefix), len(cols.BlockMin), len(cols.BlockMax))
+		}
+	} else if cols.Prefix != nil || cols.BlockMin != nil || cols.BlockMax != nil {
+		return nil, fmt.Errorf("pointstore: weightless columns carry derived columns")
+	}
+	for i := 0; i < n; i++ {
+		if cols.IDs[i] >= nextID {
+			return nil, fmt.Errorf("pointstore: row %d carries ID %d ≥ nextID %d", i, cols.IDs[i], nextID)
+		}
+		if i > 0 && (cols.Keys[i] < cols.Keys[i-1] ||
+			(cols.Keys[i] == cols.Keys[i-1] && cols.IDs[i] <= cols.IDs[i-1])) {
+			return nil, fmt.Errorf("pointstore: rows %d..%d break (key, ID) order", i-1, i)
+		}
+	}
+	m := &Mutable{domain: d, curve: c, hasW: hasW, dropped: dropped, nextID: nextID}
+	m.baseByID = buildIDIndex(cols.IDs, 0)
+	m.deltaByID = map[uint64]int{}
+	m.snap.Store(&Snapshot{
+		base:    newStoreFromColumns(cols.Keys, cols.Weights, cols.Prefix, cols.BlockMin, cols.BlockMax, d, c, dropped, pin),
+		baseIDs: cols.IDs,
+		basePts: cols.Pts,
+		gen:     gen,
+	})
+	return m, nil
+}

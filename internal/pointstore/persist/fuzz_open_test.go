@@ -1,0 +1,142 @@
+package persist_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"distbound/internal/geom"
+	"distbound/internal/pointstore/persist"
+	"distbound/internal/testutil/errorfs"
+)
+
+// FuzzOpenArbitraryWAL runs full recovery — snapshot load plus log replay —
+// with a pristine snapshot and an attacker-controlled log file. Open must
+// never panic; when it succeeds, the recovered store must compact and
+// serve without panicking. (A CRC-valid fuzzed record can still carry
+// out-of-domain coordinates, which replay rejects: an error, never a tear.)
+func FuzzOpenArbitraryWAL(f *testing.F) {
+	fs := errorfs.New()
+	d, failed := runScript(f, fs, crashScript())
+	if failed != -1 {
+		f.Fatalf("fixture run failed at logical op %d", failed)
+	}
+	snapPath := filepath.Join(crashDir, persist.SnapshotName)
+	walPath := filepath.Join(crashDir, persist.WALName(d.Stats().Generation))
+	snap := fs.Data(snapPath)
+	wal := fs.Data(walPath)
+
+	f.Add(wal)
+	f.Add(wal[:0])
+	f.Add(wal[:len(wal)/2])
+	for _, i := range []int{2, 9, 20, 33, len(wal) - 7} {
+		c := append([]byte(nil), wal...)
+		c[i] ^= 0x21
+		f.Add(c)
+	}
+	f.Add([]byte("DBWL"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fs2 := errorfs.New()
+		fs2.SetData(snapPath, snap)
+		fs2.SetData(walPath, data)
+		d2, err := persist.Open(crashDir, persist.Options{FS: fs2})
+		if err != nil {
+			return
+		}
+		c := canonicalize(d2.Mutable())
+		if c.nextID < uint64(48) {
+			t.Fatalf("recovered store lost snapshot rows: nextID %d", c.nextID)
+		}
+		if err := d2.Close(); err != nil {
+			t.Fatalf("closing recovered store: %v", err)
+		}
+	})
+}
+
+// FuzzDurableOps drives a durable store and a plain in-memory Mutable
+// through the same fuzz-chosen op stream — appends, deletes, checkpoints,
+// syncs, and full close/reopen cycles — and requires the durable side to
+// stay bit-identical to the oracle at every reopen and at the end. This is
+// the persistence extension of the pointstore FuzzMutableOps differential.
+func FuzzDurableOps(f *testing.F) {
+	f.Add([]byte{0, 16, 16, 0, 200, 9, 3, 0, 0, 1, 0, 0, 2, 0, 0, 3, 0, 0})
+	f.Add([]byte{5, 1, 1, 2, 0, 0, 5, 2, 2, 1, 3, 0, 3, 0, 0, 4, 0, 0, 0, 7, 7})
+	f.Add([]byte("\x00\x10\x20\x03\x00\x00\x01\x00\x00\x02\x00\x00\x03\x40\xff"))
+	f.Add([]byte{2, 0, 0, 3, 0, 0, 2, 0, 0, 3, 0, 0})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 180 { // ~60 logical ops bounds reopen-heavy streams
+			ops = ops[:180]
+		}
+		fs := errorfs.New()
+		m := freshCrashMutable(t)
+		oracle := freshCrashMutable(t)
+		d, err := persist.Create(crashDir, m, persist.Options{FS: fs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reopen := func() {
+			if err := d.Close(); err != nil {
+				t.Fatalf("close: %v", err)
+			}
+			d, err = persist.Open(crashDir, persist.Options{FS: fs})
+			if err != nil {
+				t.Fatalf("reopen: %v", err)
+			}
+			if !equalCanon(canonicalize(d.Mutable()), canonicalize(oracle)) {
+				t.Fatal("reopened store diverged from oracle")
+			}
+		}
+		for len(ops) >= 3 {
+			op, a, b := ops[0], ops[1], ops[2]
+			ops = ops[3:]
+			switch op % 6 {
+			case 0:
+				pt := []geom.Point{{X: float64(a) * 4, Y: float64(b) * 4}}
+				ws := []float64{float64(a^b) / 8}
+				gotIDs, err := d.Append(pt, ws)
+				if err != nil {
+					t.Fatalf("append: %v", err)
+				}
+				wantIDs, err := oracle.Append(pt, ws)
+				if err != nil {
+					t.Fatalf("oracle append: %v", err)
+				}
+				if gotIDs[0] != wantIDs[0] {
+					t.Fatalf("issued id %d, oracle issued %d", gotIDs[0], wantIDs[0])
+				}
+			case 1:
+				id := (uint64(a) | uint64(b)<<8) % oracle.NextID()
+				got, err := d.Delete(id)
+				if err != nil {
+					t.Fatalf("delete: %v", err)
+				}
+				if want := oracle.Delete(id); got != want {
+					t.Fatalf("delete removed %d rows, oracle removed %d", got, want)
+				}
+			case 2:
+				if err := d.Checkpoint(); err != nil {
+					t.Fatalf("checkpoint: %v", err)
+				}
+			case 3:
+				reopen()
+			case 4:
+				if err := d.Sync(); err != nil {
+					t.Fatalf("sync: %v", err)
+				}
+			case 5:
+				pts := []geom.Point{
+					{X: float64(a), Y: float64(b)},
+					{X: float64(b) * 2, Y: float64(a) * 2},
+					{X: 1000, Y: float64(a^b) * 3},
+				}
+				ws := []float64{1, -2.5, float64(a)}
+				if _, err := d.Append(pts, ws); err != nil {
+					t.Fatalf("append batch: %v", err)
+				}
+				if _, err := oracle.Append(pts, ws); err != nil {
+					t.Fatalf("oracle append batch: %v", err)
+				}
+			}
+		}
+		reopen()
+	})
+}

@@ -1,0 +1,21 @@
+//go:build !((linux || darwin) && (amd64 || arm64))
+
+package persist
+
+import (
+	"errors"
+
+	"distbound/internal/pointstore"
+)
+
+const mmapSupported = false
+
+func mmapFile(path string) ([]byte, any, error) {
+	return nil, nil, errors.New("persist: mmap unsupported on this platform")
+}
+
+// aliasColumns is unreachable here (Open guards on mmapSupported); the heap
+// decode keeps it correct anyway.
+func aliasColumns(data []byte, meta snapMeta, secs map[uint32]section) pointstore.BaseColumns {
+	return decodeColumns(data, meta, secs)
+}

@@ -41,6 +41,11 @@ type Store struct {
 
 	index   *rs.RadixSpline
 	dropped int
+
+	// pin keeps an external backing allocation — an mmap of a snapshot file —
+	// reachable for as long as the store is: the columns above may alias it,
+	// so its lifetime must cover every Snapshot that can still read them.
+	pin any
 }
 
 // Build linearizes the points over the domain, sorts them by key (co-sorting
@@ -104,6 +109,24 @@ func Build(pts []geom.Point, weights []float64, d sfc.Domain, c sfc.Curve) (*Sto
 func newStoreSorted(keys []uint64, ws []float64, d sfc.Domain, c sfc.Curve, dropped int) *Store {
 	s := &Store{domain: d, curve: c, dropped: dropped}
 	s.finishSorted(keys, ws)
+	return s
+}
+
+// newStoreFromColumns builds a Store from sorted columns whose derived
+// columns (prefix sums, block extremes) are already computed — the reopen
+// path of a persisted snapshot, where all five columns come straight out of
+// a checksummed file (possibly aliasing an mmap kept alive by pin) and
+// re-deriving them would both waste the recovery budget and force a copy of
+// zero-copy data. Only the learned index, which holds its own allocations,
+// is rebuilt. The caller has validated the columns' shape and order.
+func newStoreFromColumns(keys []uint64, ws, prefix, blockMin, blockMax []float64, d sfc.Domain, c sfc.Curve, dropped int, pin any) *Store {
+	s := &Store{
+		domain: d, curve: c, dropped: dropped,
+		keys: keys, weights: ws, prefix: prefix,
+		blockMin: blockMin, blockMax: blockMax,
+		pin: pin,
+	}
+	s.index = rs.Build(keys, rs.DefaultRadixBits, rs.DefaultSplineError)
 	return s
 }
 

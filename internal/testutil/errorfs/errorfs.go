@@ -1,0 +1,375 @@
+// Package errorfs is an in-memory persist.FS with fault injection: any call,
+// addressed by its global index, can be made to fail cleanly, or to crash
+// the whole filesystem — optionally tearing the failing write at an
+// arbitrary byte offset. It is the substrate of the crash-recovery sweeps:
+// a test dry-runs a script to count the filesystem calls it performs, then
+// replays it once per call index with a crash injected there, and asserts
+// recovery from whatever survived.
+//
+// The durability model is deliberately simple and pessimistic where it
+// matters:
+//
+//   - Written bytes are volatile until the file is synced; Crash truncates
+//     every file to its synced prefix.
+//   - A torn crashing write keeps a caller-chosen prefix of the payload and
+//     marks everything up to it synced — the adversarial maximum, where the
+//     torn fragment hit the platter even though the writer saw an error.
+//   - Creates, renames and removes are durable immediately. Real directory
+//     entries need their own fsync; collapsing that keeps the model small,
+//     and the write-ahead discipline under test never depends on entry
+//     ordering — the snapshot is complete and synced before it is renamed.
+package errorfs
+
+import (
+	"errors"
+	"fmt"
+	iofs "io/fs"
+	"sync"
+
+	"distbound/internal/pointstore/persist"
+)
+
+// ErrInjected is returned by a call selected with FailAt.
+var ErrInjected = errors.New("errorfs: injected failure")
+
+// ErrCrashed is returned by every call after a crash, until Recover.
+var ErrCrashed = errors.New("errorfs: filesystem crashed")
+
+const (
+	noInject = -1
+	// tornNone marks a crash without a torn fragment: the crashing write
+	// leaves no bytes at all.
+	tornNone = -1
+)
+
+type memFile struct {
+	data   []byte
+	synced int // bytes guaranteed to survive a crash
+}
+
+// FS is the fault-injecting in-memory filesystem. The zero value is not
+// usable; call New. All methods are safe for concurrent use.
+type FS struct {
+	mu      sync.Mutex
+	files   map[string]*memFile
+	ops     int
+	trace   []string
+	crashed bool
+
+	failAt   int // call index that returns ErrInjected; noInject when unset
+	crashAt  int // call index that crashes the filesystem; noInject when unset
+	tornKeep int // bytes of the crashing write that survive; tornNone when unset
+}
+
+// New returns an empty filesystem with no faults armed.
+func New() *FS {
+	return &FS{files: map[string]*memFile{}, failAt: noInject, crashAt: noInject, tornKeep: tornNone}
+}
+
+// FailAt arms call index k (0-based, counting every FS and File method call)
+// to return ErrInjected with no effect. Later calls proceed normally.
+func (f *FS) FailAt(k int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failAt = k
+}
+
+// CrashAt arms call index k to crash the filesystem: the call fails with
+// ErrCrashed, every file drops back to its synced prefix, and all later
+// calls fail until Recover.
+func (f *FS) CrashAt(k int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.crashAt, f.tornKeep = k, tornNone
+}
+
+// CrashAtTorn is CrashAt where, if call k is a write, the first keep bytes
+// of its payload survive the crash (and count as synced — the adversarial
+// maximum). keep beyond the payload keeps the whole payload.
+func (f *FS) CrashAtTorn(k, keep int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.crashAt, f.tornKeep = k, keep
+}
+
+// Crash fails the filesystem now: every file drops to its synced prefix and
+// every call fails until Recover.
+func (f *FS) Crash() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.crashLocked()
+}
+
+func (f *FS) crashLocked() {
+	f.crashed = true
+	for _, mf := range f.files {
+		mf.data = mf.data[:mf.synced]
+	}
+}
+
+// Recover clears the crashed state and disarms any pending injection; the
+// files keep their post-crash content. It models the machine rebooting.
+func (f *FS) Recover() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.crashed = false
+	f.failAt, f.crashAt, f.tornKeep = noInject, noInject, tornNone
+}
+
+// Ops returns how many calls have been counted.
+func (f *FS) Ops() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// Trace returns the per-call log, one "op name detail" line per counted call.
+func (f *FS) Trace() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]string(nil), f.trace...)
+}
+
+// Data returns a copy of name's current content (volatile bytes included),
+// or nil when absent.
+func (f *FS) Data(name string) []byte {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	mf, ok := f.files[name]
+	if !ok {
+		return nil
+	}
+	return append([]byte(nil), mf.data...)
+}
+
+// SetData installs name with the given content, fully synced — the hook the
+// byte-offset sweeps use to plant arbitrary file states.
+func (f *FS) SetData(name string, data []byte) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.files[name] = &memFile{data: append([]byte(nil), data...), synced: len(data)}
+}
+
+// step counts one call and applies any armed fault. It returns the error
+// the call must fail with (nil to proceed) and, for a torn crashing write,
+// the number of payload bytes to keep (tornNone otherwise).
+func (f *FS) step(op, name string, detail int) (error, int) {
+	if f.crashed {
+		return ErrCrashed, tornNone
+	}
+	k := f.ops
+	f.ops++
+	f.trace = append(f.trace, fmt.Sprintf("%s %s %d", op, name, detail))
+	if k == f.failAt {
+		return ErrInjected, tornNone
+	}
+	if k == f.crashAt {
+		keep := f.tornKeep
+		if op != "write" {
+			keep = tornNone
+		}
+		return ErrCrashed, keep
+	}
+	return nil, tornNone
+}
+
+// crashTorn completes a torn crashing write: keep payload bytes are
+// appended to mf, marked synced, and the filesystem crashes.
+func (f *FS) crashTorn(mf *memFile, p []byte, keep int) {
+	keep = min(keep, len(p))
+	mf.data = append(mf.data, p[:keep]...)
+	mf.synced = len(mf.data)
+	f.crashLocked()
+}
+
+var _ persist.FS = (*FS)(nil)
+
+func (f *FS) Create(name string) (persist.File, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err, _ := f.step("create", name, 0); err != nil {
+		if errors.Is(err, ErrCrashed) {
+			f.crashLocked()
+		}
+		return nil, err
+	}
+	f.files[name] = &memFile{}
+	return &handle{fs: f, name: name}, nil
+}
+
+func (f *FS) OpenWrite(name string) (persist.File, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err, _ := f.step("openwrite", name, 0); err != nil {
+		if errors.Is(err, ErrCrashed) {
+			f.crashLocked()
+		}
+		return nil, err
+	}
+	if _, ok := f.files[name]; !ok {
+		return nil, fmt.Errorf("errorfs: open %s: file does not exist", name)
+	}
+	return &handle{fs: f, name: name}, nil
+}
+
+func (f *FS) ReadFile(name string) ([]byte, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err, _ := f.step("read", name, 0); err != nil {
+		if errors.Is(err, ErrCrashed) {
+			f.crashLocked()
+		}
+		return nil, err
+	}
+	mf, ok := f.files[name]
+	if !ok {
+		return nil, fmt.Errorf("errorfs: read %s: %w", name, iofs.ErrNotExist)
+	}
+	return append([]byte(nil), mf.data...), nil
+}
+
+func (f *FS) Rename(oldname, newname string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err, _ := f.step("rename", oldname+" -> "+newname, 0); err != nil {
+		if errors.Is(err, ErrCrashed) {
+			f.crashLocked()
+		}
+		return err
+	}
+	mf, ok := f.files[oldname]
+	if !ok {
+		return fmt.Errorf("errorfs: rename %s: file does not exist", oldname)
+	}
+	delete(f.files, oldname)
+	f.files[newname] = mf
+	return nil
+}
+
+func (f *FS) Remove(name string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err, _ := f.step("remove", name, 0); err != nil {
+		if errors.Is(err, ErrCrashed) {
+			f.crashLocked()
+		}
+		return err
+	}
+	if _, ok := f.files[name]; !ok {
+		return fmt.Errorf("errorfs: remove %s: file does not exist", name)
+	}
+	delete(f.files, name)
+	return nil
+}
+
+func (f *FS) MkdirAll(dir string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	err, _ := f.step("mkdir", dir, 0)
+	if errors.Is(err, ErrCrashed) {
+		f.crashLocked()
+	}
+	return err
+}
+
+func (f *FS) SyncDir(dir string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	err, _ := f.step("syncdir", dir, 0)
+	if errors.Is(err, ErrCrashed) {
+		f.crashLocked()
+	}
+	return err
+}
+
+// handle is one open file of an FS.
+type handle struct {
+	fs     *FS
+	name   string
+	closed bool
+}
+
+// file resolves the handle's target, which a rename may have moved away.
+func (h *handle) file() (*memFile, error) {
+	if h.closed {
+		return nil, fmt.Errorf("errorfs: %s: handle closed", h.name)
+	}
+	mf, ok := h.fs.files[h.name]
+	if !ok {
+		return nil, fmt.Errorf("errorfs: %s: file removed under open handle", h.name)
+	}
+	return mf, nil
+}
+
+func (h *handle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	err, keep := h.fs.step("write", h.name, len(p))
+	if err != nil {
+		if errors.Is(err, ErrCrashed) {
+			if mf, ferr := h.file(); ferr == nil && keep != tornNone {
+				h.fs.crashTorn(mf, p, keep)
+			} else {
+				h.fs.crashLocked()
+			}
+		}
+		return 0, err
+	}
+	mf, err := h.file()
+	if err != nil {
+		return 0, err
+	}
+	mf.data = append(mf.data, p...)
+	return len(p), nil
+}
+
+func (h *handle) Truncate(size int64) (err error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if err, _ := h.fs.step("truncate", h.name, int(size)); err != nil {
+		if errors.Is(err, ErrCrashed) {
+			h.fs.crashLocked()
+		}
+		return err
+	}
+	mf, err := h.file()
+	if err != nil {
+		return err
+	}
+	if size < 0 || size > int64(len(mf.data)) {
+		return fmt.Errorf("errorfs: truncate %s to %d of %d bytes", h.name, size, len(mf.data))
+	}
+	mf.data = mf.data[:size]
+	mf.synced = min(mf.synced, int(size))
+	return nil
+}
+
+func (h *handle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if err, _ := h.fs.step("sync", h.name, 0); err != nil {
+		if errors.Is(err, ErrCrashed) {
+			h.fs.crashLocked()
+		}
+		return err
+	}
+	mf, err := h.file()
+	if err != nil {
+		return err
+	}
+	mf.synced = len(mf.data)
+	return nil
+}
+
+func (h *handle) Close() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if err, _ := h.fs.step("close", h.name, 0); err != nil {
+		if errors.Is(err, ErrCrashed) {
+			h.fs.crashLocked()
+		}
+		return err
+	}
+	h.closed = true
+	return nil
+}
