@@ -24,10 +24,15 @@ type PersistConfig struct {
 	// DisableMMap forces OpenDataset to copy the snapshot into the heap
 	// instead of serving the base columns from the mapped file.
 	DisableMMap bool
+
+	// fs overrides the backing filesystem; nil selects the operating
+	// system. Unexported: only the package's own tests inject the
+	// fault-injecting implementation here.
+	fs persist.FS
 }
 
 func (c PersistConfig) options() persist.Options {
-	return persist.Options{GroupCommit: c.GroupCommit, DisableMMap: c.DisableMMap}
+	return persist.Options{FS: c.fs, GroupCommit: c.GroupCommit, DisableMMap: c.DisableMMap}
 }
 
 // Persist makes the dataset durable under dir: an immediate checkpoint

@@ -329,8 +329,10 @@ type DatasetStats struct {
 	// write-ahead log (Persist/OpenDataset); the fields below are zero
 	// otherwise.
 	Durable bool
-	// MMapped reports whether the base columns are served from the mapped
-	// snapshot file rather than heap copies.
+	// MMapped reports whether the base columns are currently served from
+	// the mapped snapshot file rather than heap copies; the first
+	// checkpoint after a reopen replaces the mapped base with heap-compacted
+	// columns and clears it.
 	MMapped bool
 	// SnapshotBytes is the snapshot file's size; WALRecords and WALBytes
 	// measure the log of mutations acknowledged since the last checkpoint.
@@ -343,8 +345,11 @@ type DatasetStats struct {
 	// DurableErr is the sticky wedge error: non-nil after a log write or
 	// sync failure, when further mutations are refused because the log no
 	// longer captures the acknowledged history. CheckpointErr is the most
-	// recent checkpoint failure; checkpoints are retried at the next
-	// compaction and do not wedge the dataset.
+	// recent checkpoint failure; a checkpoint that fails before its
+	// snapshot rename is retried at the next compaction without wedging
+	// the dataset, while a directory-sync failure after the rename also
+	// wedges (DurableErr), because which generation a crash would
+	// resurface is unknowable.
 	DurableErr    error
 	CheckpointErr error
 }
@@ -437,21 +442,34 @@ func (d *Dataset) Append(pts []Point, weights []float64) ([]uint64, error) {
 // being live); appended points carry the IDs Append returned. Deletions are
 // visible to every query issued after Delete returns.
 //
-// On a durable dataset a deletion that fails to reach the log still returns
-// its live count — the removal is visible in memory — but the dataset
-// wedges: Stats().DurableErr reports the failure and later mutations are
-// refused.
+// Delete discards the durable-log error: on a durable dataset a critical
+// path should use DeleteChecked, or watch Stats().DurableErr, to learn that
+// a deletion failed to reach the log.
 func (d *Dataset) Delete(ids ...uint64) int {
+	n, _ := d.DeleteChecked(ids...)
+	return n
+}
+
+// DeleteChecked is Delete surfacing the durable-log failure: on a durable
+// dataset a deletion that fails to reach the log still returns its live
+// count — the removal is visible in memory — but the dataset wedges (later
+// mutations are refused, Stats().DurableErr stays set) and the error
+// reports it at the call site. On a non-durable dataset the error is
+// always nil.
+func (d *Dataset) DeleteChecked(ids ...uint64) (int, error) {
 	var n int
+	var err error
 	if dur := d.dur.Load(); dur != nil {
-		n, _ = dur.Delete(ids...) // error is sticky; surfaced via Stats().DurableErr
+		if n, err = dur.Delete(ids...); err != nil {
+			err = fmt.Errorf("distbound: deleting from dataset %q: %w", d.name, err)
+		}
 	} else {
 		n = d.src.Delete(ids...)
 	}
 	if n > 0 {
 		d.maybeCompact()
 	}
-	return n
+	return n, err
 }
 
 // Compact synchronously merges the delta buffer and tombstones into a
@@ -475,9 +493,11 @@ func (d *Dataset) timedCompact() {
 	if dur := d.dur.Load(); dur != nil {
 		// Durable datasets checkpoint instead: the same radix merge, then the
 		// result replaces the on-disk snapshot atomically and the log is
-		// retired. A checkpoint failure leaves the previous snapshot+log pair
-		// coherent and is retried at the next compaction; it is reported via
-		// Stats().CheckpointErr rather than wedging the dataset.
+		// retired. A checkpoint that fails before the snapshot rename leaves
+		// the previous snapshot+log pair in charge and is retried at the next
+		// compaction, reported via Stats().CheckpointErr; a directory-sync
+		// failure after the rename wedges the dataset (Stats().DurableErr),
+		// because the on-disk generation is ambiguous.
 		dur.Checkpoint() //nolint:errcheck // surfaced via Stats().CheckpointErr
 	} else {
 		d.src.Compact()

@@ -11,6 +11,7 @@ package persist_test
 import (
 	"math"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"distbound/internal/geom"
@@ -271,6 +272,57 @@ func TestCrashRecoverySweep(t *testing.T) {
 	}
 }
 
+// TestFailThenContinueThenCrashSweep covers the window the crash sweep
+// cannot: a filesystem call fails CLEANLY — the process survives and keeps
+// going — the store keeps acknowledging whatever it still accepts, and only
+// later does the machine die. For every call index the script performs,
+// recovery after that late crash must land exactly on the acknowledged
+// state: every mutation acknowledged after the injected failure present,
+// every refused one absent. This is the regression gate for the checkpoint
+// directory-sync window, where continuing to log into a superseded
+// generation would silently drop acknowledged mutations.
+func TestFailThenContinueThenCrashSweep(t *testing.T) {
+	scr := crashScript()
+	states := oracleStates(t, scr)
+
+	dry := errorfs.New()
+	if _, failed := runScript(t, dry, scr); failed != -1 {
+		t.Fatalf("dry run failed at logical op %d", failed)
+	}
+	total := dry.Ops()
+
+	for k := 0; k < total; k++ {
+		fs := errorfs.New()
+		fs.FailAt(k)
+		m := freshCrashMutable(t)
+		d, err := persist.Create(crashDir, m, persist.Options{FS: fs})
+		if err != nil {
+			continue // Create absorbed the failure; nothing was acknowledged
+		}
+		// Apply every op regardless of earlier failures, tracking the last
+		// acknowledged one. A failed mutation wedges the store (everything
+		// later is refused), and a failed checkpoint changes no logical
+		// state, so the acknowledged state is always an oracle prefix.
+		ack := 0
+		for j, op := range scr {
+			if err := applyDurable(d, op); err == nil {
+				ack = j + 1
+			}
+		}
+		fs.Crash()
+		fs.Recover()
+		d2, err := persist.Open(crashDir, persist.Options{FS: fs})
+		if err != nil {
+			t.Fatalf("fail at call %d: reopen after the late crash failed: %v\ntrace tail: %v",
+				k, err, tail(fs.Trace(), 6))
+		}
+		if !equalCanon(canonicalize(d2.Mutable()), states[ack]) {
+			t.Fatalf("fail at call %d: recovered state diverges from the acknowledged prefix (%d ops)\ntrace tail: %v",
+				k, ack, tail(fs.Trace(), 6))
+		}
+	}
+}
+
 func tail(s []string, n int) []string {
 	if len(s) <= n {
 		return s
@@ -379,6 +431,71 @@ func TestInjectedFailureSemantics(t *testing.T) {
 		}
 		if st := d.Stats(); st.CheckpointErr != nil || st.WALRecords != 0 {
 			t.Fatalf("retry did not clear the failure: %+v", st)
+		}
+	})
+	t.Run("dirsync-failure-after-rename-wedges", func(t *testing.T) {
+		pts, ws := crashPoints()
+		// Dry-run the same sequence to locate the call index of the
+		// directory sync inside the checkpoint that follows one append.
+		probe := errorfs.New()
+		d0, failed := runScript(t, probe, nil)
+		if failed != -1 {
+			t.Fatalf("create failed at %d", failed)
+		}
+		if _, err := d0.Append(pts[48:52], ws[48:52]); err != nil {
+			t.Fatal(err)
+		}
+		mark := probe.Ops()
+		if err := d0.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+		syncIdx := -1
+		for i, line := range probe.Trace()[mark:] {
+			if strings.HasPrefix(line, "syncdir ") {
+				syncIdx = mark + i
+				break
+			}
+		}
+		if syncIdx < 0 {
+			t.Fatal("checkpoint trace has no directory sync")
+		}
+
+		fs := errorfs.New()
+		d, failed := runScript(t, fs, nil)
+		if failed != -1 {
+			t.Fatalf("create failed at %d", failed)
+		}
+		if _, err := d.Append(pts[48:52], ws[48:52]); err != nil {
+			t.Fatal(err)
+		}
+		fs.FailAt(syncIdx)
+		if err := d.Checkpoint(); err == nil {
+			t.Fatal("checkpoint with failing directory sync succeeded")
+		}
+		st := d.Stats()
+		if st.Err == nil || st.CheckpointErr == nil {
+			t.Fatalf("post-rename directory-sync failure must wedge: %+v", st)
+		}
+		// Fail, then continue: the wedged store must refuse the mutation
+		// rather than acknowledge it into a log recovery may ignore...
+		if _, err := d.Append(pts[52:53], ws[52:53]); err == nil {
+			t.Fatal("wedged store acknowledged a mutation after an ambiguous checkpoint")
+		}
+		// ...then crash: whichever (snapshot, log) pair the platform kept —
+		// the model keeps the renamed one — recovery holds every
+		// acknowledged mutation and nothing else.
+		fs.Crash()
+		fs.Recover()
+		d2, err := persist.Open(crashDir, persist.Options{FS: fs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := freshCrashMutable(t)
+		if _, err := want.Append(pts[48:52], ws[48:52]); err != nil {
+			t.Fatal(err)
+		}
+		if !equalCanon(canonicalize(d2.Mutable()), canonicalize(want)) {
+			t.Fatal("acknowledged appends lost across the wedged checkpoint")
 		}
 	})
 }

@@ -39,16 +39,22 @@ type Stats struct {
 	// RecoveryWall is how long Open took — snapshot load/map, validation,
 	// and WAL replay; zero for a store born with Create.
 	RecoveryWall time.Duration
-	// MMapped reports whether the base columns are served from the mapped
-	// snapshot file rather than heap copies.
+	// MMapped reports whether the base columns are currently served from
+	// the mapped snapshot file rather than heap copies. It clears at the
+	// first checkpoint whose compaction replaces the mapped base with
+	// freshly merged heap columns.
 	MMapped bool
 	// Err is the sticky wedge error: non-nil after a WAL write or sync
-	// failure, when the in-memory state is ahead of what disk can replay
-	// and no further mutation will be accepted.
+	// failure — the in-memory state is ahead of what disk can replay — or
+	// after a checkpoint whose directory sync failed post-rename, when
+	// which generation a crash would resurface is unknowable. In either
+	// case no further mutation will be accepted.
 	Err error
 	// CheckpointErr is the most recent Checkpoint failure, nil after a
-	// success. Checkpoint failures do not wedge the store: the previous
-	// snapshot+log pair remains coherent and the checkpoint can be retried.
+	// success. A checkpoint that fails before its snapshot rename does not
+	// wedge the store: the previous snapshot+log pair remains in charge and
+	// the checkpoint can be retried. A directory-sync failure after the
+	// rename additionally wedges the store (see Err).
 	CheckpointErr error
 }
 
@@ -265,9 +271,12 @@ func (d *Durable) Sync() error {
 // Checkpoint compacts the store and makes the result the new on-disk
 // snapshot, retiring the log: write temp + fsync, start the next
 // generation's log, atomic-rename, fsync the directory, drop the old log.
-// A failure anywhere leaves the previous snapshot+log pair coherent — the
-// error is recorded in Stats.CheckpointErr and the checkpoint retried later;
-// the store does not wedge.
+// A failure before the rename leaves the previous snapshot+log pair in
+// charge — the error is recorded in Stats.CheckpointErr and the checkpoint
+// retried later; the store does not wedge. A directory-sync failure after
+// the rename is the one exception: which generation a crash would resurface
+// is unknowable, so the store wedges (Stats.Err) rather than acknowledge
+// mutations into a log that recovery might ignore.
 func (d *Durable) Checkpoint() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -296,7 +305,10 @@ func (d *Durable) usableLocked() error {
 //     is empty — exactly the records acknowledged since the checkpoint.
 //
 // In neither window can a record apply twice: recovery replays only the log
-// named after the generation it loaded.
+// named after the generation it loaded. The same rule is why a SyncDir
+// failure after the rename must wedge the store: with the directory update's
+// durability unknown, any record acknowledged afterwards would live in a log
+// that recovery may ignore.
 func (d *Durable) checkpointLocked() error {
 	d.m.Compact()
 	s := d.m.Snapshot()
@@ -306,6 +318,10 @@ func (d *Durable) checkpointLocked() error {
 		// have forced Compact to publish a new generation): disk is current.
 		return nil
 	}
+	// Reaching here means a compaction has replaced the Open-time base with
+	// freshly merged heap columns — the mapped snapshot file, if any, no
+	// longer backs what is served, however this checkpoint ends.
+	d.mmapped = false
 	cols := s.BaseColumns()
 	meta := snapMeta{
 		gen:     gen,
@@ -344,11 +360,16 @@ func (d *Durable) checkpointLocked() error {
 		return err
 	}
 	if err := d.fs.SyncDir(d.dir); err != nil {
-		// The rename happened; whether it is durable is now the platform's
-		// business. Both (snapshot, log) pairs on disk are coherent, so
-		// failing the checkpoint here would only force a redundant retry.
-		nw.close()
-		return err
+		// The rename happened but the directory update's durability is now
+		// unknown: a crash could resurface either generation's snapshot.
+		// Logging further mutations to either log would risk losing them —
+		// recovery replays only the log named after the generation it loads —
+		// so the store wedges. Both (snapshot, log) pairs stay on disk,
+		// each coherent and neither accepting new records, and recovery from
+		// whichever the platform kept loses nothing acknowledged so far.
+		nw.close() //nolint:errcheck // the empty log's header is already durable
+		d.err = fmt.Errorf("persist: syncing directory after snapshot rename: %w", err)
+		return d.err
 	}
 
 	oldWAL, oldGen := d.wal, d.gen

@@ -355,6 +355,46 @@ func TestMMapVsFullLoadParity(t *testing.T) {
 	requireSameState(t, full.Mutable(), oracle)
 }
 
+// TestMMappedClearsAtCheckpoint: the MMapped stat tracks the serving mode,
+// not the opening mode. A no-op checkpoint (nothing mutated) keeps serving
+// from the map; a checkpoint that folds new mutations replaces the mapped
+// base with heap-compacted columns and must drop the flag.
+func TestMMappedClearsAtCheckpoint(t *testing.T) {
+	if !mmapSupported {
+		t.Skip("mmap unsupported on this platform")
+	}
+	dir := t.TempDir()
+	d, err := Create(dir, newTestMutable(t, 256, true), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+
+	d2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if !d2.Stats().MMapped {
+		t.Fatal("freshly opened store is not mapped")
+	}
+	if err := d2.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if !d2.Stats().MMapped {
+		t.Fatal("no-op checkpoint dropped the mapped base")
+	}
+	if _, err := d2.Append([]geom.Point{{X: 3, Y: 3}}, []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if d2.Stats().MMapped {
+		t.Fatal("MMapped still set after the checkpoint compacted the base onto the heap")
+	}
+}
+
 // TestGroupCommitSyncs: records written under a group-commit interval are
 // synced by the timer without an explicit Sync, and Sync flushes eagerly.
 func TestGroupCommitSyncs(t *testing.T) {
