@@ -70,6 +70,11 @@ import (
 	"distbound/internal/experiments"
 )
 
+// defaultBounds is the shared -bounds default: bound 0 is the load mode's
+// exact baseline and is stripped in -serve mode, which only answers
+// distance-bounded queries.
+const defaultBounds = "0,16,32,64"
+
 func main() {
 	var (
 		experiment = flag.String("experiment", "all", "experiment id (fig4a, fig4b, fig6, mem, fig7, ablapprox, ablcurve) or 'all'")
@@ -80,7 +85,7 @@ func main() {
 
 		concurrency = flag.Int("concurrency", 0, "load mode: client goroutines driving one shared engine (0 = run experiments)")
 		duration    = flag.Duration("duration", 5*time.Second, "load mode: how long to drive the engine")
-		boundsFlag  = flag.String("bounds", "0,16,32,64", "load mode: comma-separated distance bounds cycled across queries (0 = exact)")
+		boundsFlag  = flag.String("bounds", defaultBounds, "load mode: comma-separated distance bounds cycled across queries (0 = exact)")
 		aggFlag     = flag.String("agg", "count", "load mode: aggregate (count, sum, avg, min, max)")
 		reps        = flag.Int("reps", 1000, "load mode: repetitions hint passed to the planner")
 		batch       = flag.Int("batch", 0, "load mode: issue AggregateBatch calls of this size instead of single queries")
@@ -98,8 +103,49 @@ func main() {
 		skew = flag.Float64("skew", 0, "load mode: replace the census regions with rectangles whose cover sizes follow a Zipf law with this exponent (0 = off); stresses cost-weighted work partitioning, watch p99")
 
 		calibrate = flag.Bool("calibrate", false, "load mode: fit the planner's cost model to this host before the run and report the constants plus a calibrated-vs-default strategy diff")
+
+		serveMode  = flag.Bool("serve", false, "serve mode: drive distboundd over HTTP — spawns a sharded and an unsharded server in-process for a head-to-head unless -serveurl targets a running daemon")
+		serveURL   = flag.String("serveurl", "", "serve mode: base URL of a running distboundd (e.g. http://127.0.0.1:7080) instead of in-process servers")
+		shardCount = flag.Int("shards", 8, "serve mode: key-range shard count for the in-process sharded server")
+		batchLines = flag.Int("batchlines", 256, "serve mode: NDJSON lines in the streamed-batch measurement")
 	)
 	flag.Parse()
+
+	if *serveMode {
+		bounds, err := parseBounds(*boundsFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		// The serving layer is the distance-bounded path; drop the load
+		// mode's bound-0 exact baseline instead of erroring on the shared
+		// default. Explicit non-positive bounds still fail in runServe.
+		if *boundsFlag == defaultBounds {
+			bounds = bounds[1:]
+		}
+		conc := *concurrency
+		if conc <= 0 {
+			conc = 4
+		}
+		cfg := serveConfig{
+			seed:        *seed,
+			numPoints:   *points,
+			shards:      *shardCount,
+			concurrency: conc,
+			duration:    *duration,
+			bounds:      bounds,
+			aggs:        []string{*aggFlag},
+			repetitions: *reps,
+			batchLines:  *batchLines,
+			url:         *serveURL,
+			jsonPath:    *jsonPath,
+		}
+		if err := runServe(cfg); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if (*resident || *ingest || *multiagg || *calibrate || *persist || *jsonPath != "" || *skew > 0) && *concurrency <= 0 {
 		fmt.Fprintln(os.Stderr, "-resident, -ingest, -multiagg, -calibrate, -persist, -skew and -json require load mode (-concurrency N > 0)")

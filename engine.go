@@ -173,6 +173,10 @@ func (e *Engine) SetWorkers(n int) {
 	e.mu.Unlock()
 }
 
+// NumRegions returns how many regions the engine aggregates over — the
+// width of every result column.
+func (e *Engine) NumRegions() int { return len(e.regions) }
+
 // Workers returns the configured intra-query worker count (0 = GOMAXPROCS).
 func (e *Engine) Workers() int {
 	e.mu.RLock()
@@ -704,6 +708,31 @@ func (e *Engine) pointIdxJoinerCtx(ctx context.Context, ds *Dataset, bound float
 		return nil, fmt.Errorf("distbound: building point-index covers: %w", err)
 	}
 	return j, nil
+}
+
+// CoverKeyRanges returns the deduplicated, (Lo, Hi)-sorted global cover-plan
+// ranges of the dataset at the bound: the SFC key intervals a query at this
+// bound can ever touch. The ranges depend only on the engine's regions,
+// domain, curve and bound — never on the dataset's rows — so the same list
+// routes any dataset sharded by key range over the same region set: a shard
+// whose key range intersects no returned range can never contribute to a
+// bound-ε answer. A cold call builds (and caches) the dataset's cover
+// artifact exactly as a query would, fanning the rasterization across
+// workers (≤ 0 selects GOMAXPROCS); canceling ctx abandons the build. The
+// returned slice is the cached plan's backing storage — treat it as
+// read-only.
+func (e *Engine) CoverKeyRanges(ctx context.Context, ds *Dataset, bound float64, workers int) ([]PosRange, error) {
+	if err := e.checkDataset(ds); err != nil {
+		return nil, err
+	}
+	if !(bound > 0) {
+		return nil, fmt.Errorf("distbound: cover key ranges require a positive bound, got %v", bound)
+	}
+	j, err := e.pointIdxJoinerCtx(ctx, ds, bound, workers)
+	if err != nil {
+		return nil, err
+	}
+	return j.UniqueRanges(), nil
 }
 
 // Aggregate answers the aggregation query with the planner-selected

@@ -324,3 +324,59 @@ func TestDoBatchMatchesLegacyAggregateBatch(t *testing.T) {
 		testutil.CheckIdentical(t, "legacy vs DoBatch", legacy[i].Result, resps[i].Results[0])
 	}
 }
+
+// TestWorkersNormalizedInOnePlace pins the Workers ≤ 0 normalization to
+// Request normalization: every non-positive value behaves exactly like the
+// documented default — the engine's SetWorkers configuration under Do, a
+// single-threaded join under DoBatch — with no per-caller clamping left to
+// drift. The resident path is deterministic for any worker count, so the
+// results must be bit-identical across the spelling of "default".
+func TestWorkersNormalizedInOnePlace(t *testing.T) {
+	e, ds, _ := requestFixture(t)
+	ctx := context.Background()
+	aggs := []Agg{Count, Sum, Min, Max}
+	base := Request{Dataset: ds, Aggs: aggs, Bound: 16}
+
+	// Warm the cover artifact so every variant below plans identically.
+	if _, err := e.Do(ctx, base); err != nil {
+		t.Fatal(err)
+	}
+
+	e.SetWorkers(2) // a non-trivial engine default the zero Workers must select
+	want, err := e.Do(ctx, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{-5, -1, 0} {
+		req := base
+		req.Workers = workers
+		got, err := e.Do(ctx, req)
+		if err != nil {
+			t.Fatalf("Workers=%d: %v", workers, err)
+		}
+		for k := range aggs {
+			testutil.CheckIdentical(t, "Do default workers", want.Results[k], got.Results[k])
+		}
+	}
+
+	// DoBatch: non-positive per-request Workers normalizes to the batched
+	// single-threaded default, identical to an explicit 1.
+	mk := func(workers int) []Request {
+		req := base
+		req.Workers = workers
+		return []Request{req}
+	}
+	ref, err := e.DoBatch(ctx, mk(1), 1)
+	if err != nil || ref[0].Err != nil {
+		t.Fatalf("reference batch: %v / %v", err, ref[0].Err)
+	}
+	for _, workers := range []int{-7, 0} {
+		got, err := e.DoBatch(ctx, mk(workers), 1)
+		if err != nil || got[0].Err != nil {
+			t.Fatalf("Workers=%d: %v / %v", workers, err, got[0].Err)
+		}
+		for k := range aggs {
+			testutil.CheckIdentical(t, "DoBatch default workers", ref[0].Results[k], got[0].Results[k])
+		}
+	}
+}

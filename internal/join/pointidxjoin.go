@@ -109,6 +109,13 @@ func (j *PointIdxJoiner) NumUniqueRanges() int { return len(j.plan.uniq) }
 // resolves against the key column — the monotone sweep's length.
 func (j *PointIdxJoiner) NumBoundaryProbes() int { return len(j.plan.bkeys) }
 
+// UniqueRanges returns the cover plan's deduplicated global range list,
+// sorted by (Lo, Hi) ascending — the key intervals a query at this joiner's
+// bound can ever touch, which is what a shard router intersects against its
+// shards' key boundaries. The slice is the plan's own backing storage;
+// callers must treat it as read-only.
+func (j *PointIdxJoiner) UniqueRanges() []raster.PosRange { return j.plan.uniq }
+
 // MemoryBytes returns the cover artifact's footprint — the per-region
 // ranges (16 bytes each) plus the global cover plan — excluding the shared
 // dataset.

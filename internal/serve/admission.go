@@ -1,0 +1,55 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// admission is the per-tenant concurrency limiter: every tenant owns a
+// bucket of `limit` concurrency tokens, a request takes one for its whole
+// lifetime, and a tenant whose bucket is empty is rejected immediately
+// (429) rather than queued — saturation must not let one tenant build an
+// unbounded backlog in front of the others. Buckets are independent, so a
+// saturated tenant never blocks admission of another.
+type admission struct {
+	limit int // tokens per tenant; <= 0 disables admission control
+
+	mu       sync.Mutex
+	inflight map[string]int
+
+	rejections atomic.Uint64
+}
+
+func newAdmission(limit int) *admission {
+	return &admission{limit: limit, inflight: map[string]int{}}
+}
+
+// acquire takes a token from tenant's bucket, reporting false — and
+// counting the rejection — when the bucket is empty.
+func (a *admission) acquire(tenant string) bool {
+	if a.limit <= 0 {
+		return true
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.inflight[tenant] >= a.limit {
+		a.rejections.Add(1)
+		return false
+	}
+	a.inflight[tenant]++
+	return true
+}
+
+// release returns tenant's token.
+func (a *admission) release(tenant string) {
+	if a.limit <= 0 {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if n := a.inflight[tenant]; n <= 1 {
+		delete(a.inflight, tenant) // don't leak a map entry per tenant ever seen
+	} else {
+		a.inflight[tenant] = n - 1
+	}
+}

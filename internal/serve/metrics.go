@@ -1,0 +1,92 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latRingSize bounds the latency sample window the percentiles summarize;
+// a power of two keeps the ring arithmetic trivial.
+const latRingSize = 4096
+
+// metrics is the server's observable state: per-endpoint request counters,
+// scatter fan-out accounting, and a fixed-size ring of recent query
+// latencies the percentile gauges summarize. Everything is lock-free
+// except the ring, whose short critical sections bound the hot-path cost.
+type metrics struct {
+	queries    atomic.Uint64
+	batches    atomic.Uint64
+	batchLines atomic.Uint64
+	errors     atomic.Uint64
+
+	fanoutSum atomic.Uint64
+	fanoutMax atomic.Uint64
+
+	mu    sync.Mutex
+	ring  [latRingSize]time.Duration
+	next  int
+	count int
+}
+
+// observe records one finished query execution.
+func (m *metrics) observe(d time.Duration, shardsContacted int) {
+	m.fanoutSum.Add(uint64(shardsContacted))
+	for {
+		cur := m.fanoutMax.Load()
+		if uint64(shardsContacted) <= cur || m.fanoutMax.CompareAndSwap(cur, uint64(shardsContacted)) {
+			break
+		}
+	}
+	m.mu.Lock()
+	m.ring[m.next] = d
+	m.next = (m.next + 1) % latRingSize
+	if m.count < latRingSize {
+		m.count++
+	}
+	m.mu.Unlock()
+}
+
+// percentiles returns the p50/p90/p99 of the latency window; zeros when no
+// query has completed yet.
+func (m *metrics) percentiles() (p50, p90, p99 time.Duration) {
+	m.mu.Lock()
+	lats := make([]time.Duration, m.count)
+	copy(lats, m.ring[:m.count])
+	m.mu.Unlock()
+	if len(lats) == 0 {
+		return 0, 0, 0
+	}
+	sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+	at := func(q float64) time.Duration {
+		i := int(q * float64(len(lats)-1))
+		return lats[i]
+	}
+	return at(0.50), at(0.90), at(0.99)
+}
+
+// render writes the counters in the text exposition format /metrics serves.
+func (m *metrics) render(w io.Writer, rejections uint64, draining bool) {
+	queries, batches := m.queries.Load(), m.batches.Load()
+	fmt.Fprintf(w, "distboundd_requests_total{endpoint=\"query\"} %d\n", queries)
+	fmt.Fprintf(w, "distboundd_requests_total{endpoint=\"batch\"} %d\n", batches)
+	fmt.Fprintf(w, "distboundd_batch_lines_total %d\n", m.batchLines.Load())
+	fmt.Fprintf(w, "distboundd_request_errors_total %d\n", m.errors.Load())
+	fmt.Fprintf(w, "distboundd_admission_rejections_total %d\n", rejections)
+	executed := m.batchLines.Load() + queries
+	fmt.Fprintf(w, "distboundd_shard_fanout_sum %d\n", m.fanoutSum.Load())
+	fmt.Fprintf(w, "distboundd_shard_fanout_count %d\n", executed)
+	fmt.Fprintf(w, "distboundd_shard_fanout_max %d\n", m.fanoutMax.Load())
+	p50, p90, p99 := m.percentiles()
+	fmt.Fprintf(w, "distboundd_query_latency_seconds{quantile=\"0.5\"} %g\n", p50.Seconds())
+	fmt.Fprintf(w, "distboundd_query_latency_seconds{quantile=\"0.9\"} %g\n", p90.Seconds())
+	fmt.Fprintf(w, "distboundd_query_latency_seconds{quantile=\"0.99\"} %g\n", p99.Seconds())
+	drain := 0
+	if draining {
+		drain = 1
+	}
+	fmt.Fprintf(w, "distboundd_draining %d\n", drain)
+}

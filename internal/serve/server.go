@@ -1,0 +1,301 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"distbound/internal/shard"
+)
+
+// maxBodyBytes bounds a query body; batch lines are bounded individually.
+const maxBodyBytes = 1 << 20
+
+// Server is distboundd's handler set over one Backend. Construct with
+// NewServer and mount Handler on an http.Server; all methods are safe for
+// concurrent use.
+type Server struct {
+	backend  Backend
+	adm      *admission
+	met      *metrics
+	draining atomic.Bool
+	mux      *http.ServeMux
+}
+
+// NewServer wraps backend with admission control admitting at most
+// tenantLimit concurrent requests per tenant (≤ 0 disables the limiter).
+func NewServer(backend Backend, tenantLimit int) *Server {
+	s := &Server{
+		backend: backend,
+		adm:     newAdmission(tenantLimit),
+		met:     &metrics{},
+		mux:     http.NewServeMux(),
+	}
+	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the mounted route set.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// SetDraining flips the drain flag: a draining server answers /healthz with
+// 503 so load balancers stop routing to it, while in-flight and
+// still-arriving requests keep completing until the listener shuts down.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// Close releases the backend.
+func (s *Server) Close() { s.backend.Close() }
+
+// requestContext derives the handler context: the request's own context —
+// so a disconnecting client cancels its query — optionally tightened by the
+// client's deadline budget header. The returned cancel must always run.
+func requestContext(r *http.Request) (context.Context, context.CancelFunc, error) {
+	ctx := r.Context()
+	h := r.Header.Get(DeadlineHeader)
+	if h == "" {
+		return ctx, func() {}, nil
+	}
+	ms, err := strconv.ParseInt(h, 10, 64)
+	if err != nil || ms < 0 {
+		return nil, nil, fmt.Errorf("bad %s %q: want a non-negative integer of milliseconds", DeadlineHeader, h)
+	}
+	ctx, cancel := context.WithTimeout(ctx, time.Duration(ms)*time.Millisecond)
+	return ctx, cancel, nil
+}
+
+// tenant returns the request's admission bucket.
+func tenant(r *http.Request) string {
+	if t := r.Header.Get(TenantHeader); t != "" {
+		return t
+	}
+	return DefaultTenant
+}
+
+// toShardRequest validates and maps a wire request onto the backend
+// currency.
+func toShardRequest(q QueryRequest) (shard.Request, error) {
+	aggs, err := ParseAggs(q.Aggs)
+	if err != nil {
+		return shard.Request{}, err
+	}
+	if !(q.Bound > 0) {
+		return shard.Request{}, fmt.Errorf("bound must be positive, got %v", q.Bound)
+	}
+	return shard.Request{Aggs: aggs, Bound: q.Bound, Repetitions: q.Repetitions, Workers: q.Workers}, nil
+}
+
+// toWire renders a backend response onto the wire.
+func toWire(req shard.Request, resp shard.Response) QueryResponse {
+	out := QueryResponse{
+		ShardsContacted: resp.ShardsContacted,
+		ShardsTotal:     resp.ShardsTotal,
+		WallNs:          resp.Wall.Nanoseconds(),
+	}
+	for k, agg := range req.Aggs {
+		r := resp.Results[k]
+		ar := AggResult{
+			Agg:    aggName(agg),
+			Values: make([]float64, r.NumRegions()),
+			Counts: append([]int64(nil), r.Counts...),
+		}
+		for ri := range ar.Values {
+			ar.Values[ri] = r.Value(ri)
+		}
+		out.Results = append(out.Results, ar)
+	}
+	return out
+}
+
+// httpStatus maps an execution error onto a status code: context errors are
+// the client's deadline or disconnect, validation errors are the client's
+// request, anything else is the server's fault.
+func httpStatus(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return 499 // client closed request, in nginx's convention
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+	s.met.errors.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(QueryResponse{Error: err.Error()}) //nolint:errcheck // best-effort error body
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	s.met.queries.Add(1)
+	ten := tenant(r)
+	if !s.adm.acquire(ten) {
+		s.writeError(w, http.StatusTooManyRequests, fmt.Errorf("tenant %q is at its concurrency limit", ten))
+		return
+	}
+	defer s.adm.release(ten)
+	ctx, cancel, err := requestContext(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	defer cancel()
+
+	var q QueryRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&q); err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	req, err := toShardRequest(q)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	t0 := time.Now()
+	resp, err := s.backend.Query(ctx, req)
+	if err != nil {
+		s.writeError(w, httpStatus(err), err)
+		return
+	}
+	s.met.observe(time.Since(t0), resp.ShardsContacted)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(toWire(req, resp)) //nolint:errcheck // client disconnects surface as write errors
+}
+
+// batchChunk is how many NDJSON lines execute per backend Batch call: large
+// enough to amortize the batch machinery, small enough that responses
+// stream out while later lines are still being read.
+const batchChunk = 64
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	s.met.batches.Add(1)
+	ten := tenant(r)
+	// One admission token covers the whole stream: a batch is one request's
+	// worth of tenant concurrency however many lines it carries.
+	if !s.adm.acquire(ten) {
+		s.writeError(w, http.StatusTooManyRequests, fmt.Errorf("tenant %q is at its concurrency limit", ten))
+		return
+	}
+	defer s.adm.release(ten)
+	ctx, cancel, err := requestContext(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	defer cancel()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	// The stream interleaves reading request lines with writing response
+	// lines; without full duplex net/http closes the request body at the
+	// first response write, truncating any batch longer than one chunk.
+	rc := http.NewResponseController(w)
+	rc.EnableFullDuplex() //nolint:errcheck // unsupported writers just buffer more
+	enc := json.NewEncoder(w)
+	flush := func() { rc.Flush() } //nolint:errcheck // best-effort streaming
+
+	// Stream: decode up to batchChunk lines, execute, emit one response
+	// line per request line (errors inline, siblings unaffected), flush,
+	// repeat until the request stream ends.
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 64*1024), maxBodyBytes)
+	done := false
+	for !done {
+		var reqs []shard.Request
+		var prefail []QueryResponse // malformed lines, reported in position
+		var order []int             // 0-based slot per line: >=0 into reqs, -1-k into prefail
+		for len(reqs) < batchChunk {
+			if !sc.Scan() {
+				done = true
+				break
+			}
+			line := sc.Bytes()
+			if len(line) == 0 {
+				continue
+			}
+			var q QueryRequest
+			var req shard.Request
+			err := json.Unmarshal(line, &q)
+			if err == nil {
+				req, err = toShardRequest(q)
+			}
+			if err != nil {
+				s.met.errors.Add(1)
+				order = append(order, -1-len(prefail))
+				prefail = append(prefail, QueryResponse{Error: err.Error()})
+				continue
+			}
+			order = append(order, len(reqs))
+			reqs = append(reqs, req)
+		}
+		if len(order) == 0 {
+			continue
+		}
+		t0 := time.Now()
+		resps, errs := s.backend.Batch(ctx, reqs)
+		perLine := time.Since(t0) / time.Duration(max(len(reqs), 1))
+		for _, slot := range order {
+			var line QueryResponse
+			switch {
+			case slot < 0:
+				line = prefail[-1-slot]
+			case errs[slot] != nil:
+				s.met.errors.Add(1)
+				line = QueryResponse{Error: errs[slot].Error()}
+			default:
+				s.met.batchLines.Add(1)
+				s.met.observe(perLine, resps[slot].ShardsContacted)
+				line = toWire(reqs[slot], resps[slot])
+			}
+			if err := enc.Encode(line); err != nil {
+				return // client went away; nothing left to stream to
+			}
+		}
+		flush()
+		if ctx.Err() != nil {
+			return // deadline exhausted mid-stream; emitted lines stand
+		}
+	}
+	if err := sc.Err(); err != nil {
+		enc.Encode(QueryResponse{Error: fmt.Sprintf("reading request stream: %v", err)}) //nolint:errcheck // already streaming
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := StatsResponse{
+		Backend: s.backend.Mode(),
+		Requests: map[string]uint64{
+			"query": s.met.queries.Load(),
+			"batch": s.met.batches.Load(),
+		},
+		Rejections: s.adm.rejections.Load(),
+		Draining:   s.draining.Load(),
+	}
+	s.backend.Describe(&st)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(st) //nolint:errcheck // client disconnects surface as write errors
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	w.Write([]byte("ok\n")) //nolint:errcheck // health probe
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.met.render(w, s.adm.rejections.Load(), s.draining.Load())
+}

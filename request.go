@@ -154,9 +154,13 @@ func (sc *respScratch) prepResults(aggs []Agg, numReg int) []Result {
 }
 
 // normalizeRequest validates req and applies the shared normalization every
-// entry path goes through — in particular the Repetitions < 1 → 1 clamp
-// lives here and nowhere else.
-func (e *Engine) normalizeRequest(req Request) (Request, error) {
+// entry path goes through — the Repetitions < 1 → 1 clamp and the
+// Workers ≤ 0 default both live here and nowhere else. batch selects the
+// batched default for Workers: a single-threaded join, because DoBatch
+// parallelizes across requests and combining both fan-outs would
+// oversubscribe the pool; Do's default is the engine's SetWorkers
+// configuration.
+func (e *Engine) normalizeRequest(req Request, batch bool) (Request, error) {
 	if len(req.Aggs) == 0 {
 		return req, fmt.Errorf("distbound: request needs at least one aggregate")
 	}
@@ -170,6 +174,13 @@ func (e *Engine) normalizeRequest(req Request) (Request, error) {
 	}
 	if req.Repetitions < 1 {
 		req.Repetitions = 1
+	}
+	if req.Workers <= 0 {
+		if batch {
+			req.Workers = 1
+		} else {
+			req.Workers = e.Workers()
+		}
 	}
 	if req.Strategy != nil {
 		if err := checkOverride(req); err != nil {
@@ -255,7 +266,7 @@ func (e *Engine) planRequest(req Request, reps int, sc *respScratch) Plan {
 // concurrent use.
 func (e *Engine) Do(ctx context.Context, req Request) (Response, error) {
 	start := time.Now()
-	req, err := e.normalizeRequest(req)
+	req, err := e.normalizeRequest(req, false)
 	if err != nil {
 		return Response{}, err
 	}
@@ -268,11 +279,7 @@ func (e *Engine) Do(ctx context.Context, req Request) (Response, error) {
 	if req.Explain {
 		resp.Explain = plan.Explain()
 	}
-	workers := req.Workers
-	if workers <= 0 {
-		workers = e.Workers()
-	}
-	err = e.executeMulti(ctx, req, resp.Strategy, workers, &resp)
+	err = e.executeMulti(ctx, req, resp.Strategy, req.Workers, &resp)
 	resp.Wall = time.Since(start)
 	if err != nil {
 		// The failed response still references the scratch's plan tables, so
@@ -318,7 +325,7 @@ func (e *Engine) DoBatch(ctx context.Context, reqs []Request, workers int) ([]Re
 	norm := make([]Request, len(reqs))
 	valid := make([]bool, len(reqs))
 	for i, r := range reqs {
-		n, err := e.normalizeRequest(r)
+		n, err := e.normalizeRequest(r, true)
 		if err != nil {
 			resps[i].Err = err
 			continue
@@ -383,11 +390,7 @@ func (e *Engine) DoBatch(ctx context.Context, reqs []Request, workers int) ([]Re
 			return nil
 		}
 		t0 := time.Now()
-		w := norm[i].Workers
-		if w <= 0 {
-			w = 1
-		}
-		err := e.executeMulti(ctx, norm[i], strategies[i], w, &resps[i])
+		err := e.executeMulti(ctx, norm[i], strategies[i], norm[i].Workers, &resps[i])
 		resps[i].Wall = time.Since(t0)
 		if err != nil {
 			resps[i].Err = canceledAs(ctx, err)
