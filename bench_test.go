@@ -320,6 +320,10 @@ func BenchmarkResident(b *testing.B) {
 	// parallelism the baseline is denied — the measured gap is then the
 	// strategy's, not the core count's.
 	e.SetWorkers(1)
+	// This benchmark (and CI's allocs/op gate on it) measures the executed
+	// resident path; the result cache would serve every repeat warm.
+	// BenchmarkCachedDo measures the cache.
+	e.SetResultCacheCapacity(0)
 	ds, err := e.RegisterPoints("bench", pts, weights)
 	if err != nil {
 		b.Fatal(err)
@@ -574,6 +578,9 @@ func BenchmarkMultiAgg(b *testing.B) {
 	regions := data.Regions(data.Census(13, benchCensus))
 	e := NewEngine(regions)
 	e.SetWorkers(1)
+	// Both sides measure execution; the result cache would serve the
+	// repeats warm and time nothing.
+	e.SetResultCacheCapacity(0)
 	ds, err := e.RegisterPoints("bench", pts, weights)
 	if err != nil {
 		b.Fatal(err)

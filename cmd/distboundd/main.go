@@ -43,22 +43,23 @@ func main() {
 		shards      = flag.Int("shards", 8, "key-range shard count (1 = one unsharded engine behind Do/DoBatch)")
 		tenantLimit = flag.Int("tenant-limit", 0, "max concurrent requests per tenant; exceeding tenants get 429 (0 = unlimited)")
 		dataDir     = flag.String("data", "", "durable dataset directory: recovered when it holds a manifest, created and persisted otherwise (sharded mode only)")
+		cacheCap    = flag.Int("result-cache", distbound.DefaultResultCacheCapacity, "result cache capacity in entries; repeated identical queries are served without re-executing until a mutation bumps the epoch (0 disables)")
 		drainWait   = flag.Duration("drain-timeout", 10*time.Second, "how long SIGTERM waits for in-flight requests before closing")
 	)
 	flag.Parse()
-	if err := run(*addr, *points, *seed, *grid, *verts, *weights, *shards, *tenantLimit, *dataDir, *drainWait); err != nil {
+	if err := run(*addr, *points, *seed, *grid, *verts, *weights, *shards, *tenantLimit, *dataDir, *cacheCap, *drainWait); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr string, points int, seed int64, grid string, verts int, weights bool, shards, tenantLimit int, dataDir string, drainWait time.Duration) error {
+func run(addr string, points int, seed int64, grid string, verts int, weights bool, shards, tenantLimit int, dataDir string, cacheCap int, drainWait time.Duration) error {
 	var cols, rows int
 	if _, err := fmt.Sscanf(grid, "%dx%d", &cols, &rows); err != nil || cols < 1 || rows < 1 {
 		return fmt.Errorf("bad -grid %q: want COLSxROWS, e.g. 4x4", grid)
 	}
 	regions := data.Regions(data.Partition(seed, cols, rows, verts))
 
-	backend, err := buildBackend(regions, points, seed, weights, shards, dataDir)
+	backend, err := buildBackend(regions, points, seed, weights, shards, dataDir, cacheCap)
 	if err != nil {
 		return err
 	}
@@ -101,10 +102,15 @@ func run(addr string, points int, seed int64, grid string, verts int, weights bo
 
 // buildBackend assembles the dataset the server fronts: recovered from
 // dataDir when a manifest is present, synthesized (and, with dataDir,
-// persisted) otherwise.
-func buildBackend(regions []distbound.Region, points int, seed int64, weights bool, shards int, dataDir string) (serve.Backend, error) {
+// persisted) otherwise. cacheCap re-bounds the result cache the serving
+// layer sits on — the merged scatter-gather cache when sharded, the engine
+// cache when not.
+func buildBackend(regions []distbound.Region, points int, seed int64, weights bool, shards int, dataDir string, cacheCap int) (serve.Backend, error) {
 	if shards < 1 {
 		return nil, fmt.Errorf("distboundd: -shards must be at least 1")
+	}
+	if cacheCap < 0 {
+		return nil, fmt.Errorf("distboundd: -result-cache must be non-negative")
 	}
 	if dataDir != "" {
 		if shards == 1 {
@@ -116,6 +122,7 @@ func buildBackend(regions []distbound.Region, points int, seed int64, weights bo
 				return nil, fmt.Errorf("distboundd: recovering %s: %w", dataDir, err)
 			}
 			log.Printf("distboundd: recovered %d points in %d shards from %s", s.Len(), s.NumShards(), dataDir)
+			s.SetResultCacheCapacity(cacheCap)
 			return &serve.ShardedBackend{S: s}, nil
 		}
 	}
@@ -130,6 +137,7 @@ func buildBackend(regions []distbound.Region, points int, seed int64, weights bo
 		if err != nil {
 			return nil, fmt.Errorf("distboundd: %w", err)
 		}
+		e.SetResultCacheCapacity(cacheCap)
 		return &serve.UnshardedBackend{E: e, DS: ds}, nil
 	}
 	s, _, err := shard.New("taxi", regions, pts, ws, shards)
@@ -142,5 +150,6 @@ func buildBackend(regions []distbound.Region, points int, seed int64, weights bo
 		}
 		log.Printf("distboundd: persisted %d shards under %s", s.NumShards(), dataDir)
 	}
+	s.SetResultCacheCapacity(cacheCap)
 	return &serve.ShardedBackend{S: s}, nil
 }

@@ -26,6 +26,7 @@ type benchJSON struct {
 	CoverPlan     []coverPlanComparison `json:"coverplan_vs_perregion,omitempty"`
 	Calibration   *calibrationJSON      `json:"calibration,omitempty"`
 	Persistence   *persistenceJSON      `json:"persistence,omitempty"`
+	ResultCache   *cacheBenchJSON       `json:"result_cache,omitempty"`
 }
 
 type benchConfigJSON struct {
@@ -49,7 +50,8 @@ func writeBenchJSON(cfg loadConfig, queries int, elapsed time.Duration,
 	pct func(float64) time.Duration, max time.Duration,
 	strategies map[distbound.Strategy]int, comparisons []pathComparison,
 	multiAggs []multiAggComparison, coverPlans []coverPlanComparison,
-	calibration *calibrationJSON, persistence *persistenceJSON) error {
+	calibration *calibrationJSON, persistence *persistenceJSON,
+	cacheBench *cacheBenchJSON) error {
 	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1e3 }
 	name := "spatialbench-load"
 	queryPoints := cfg.queryPoints
@@ -58,6 +60,9 @@ func writeBenchJSON(cfg loadConfig, queries int, elapsed time.Duration,
 		// the ignored slicing knob so cross-mode comparisons stay honest.
 		name = "spatialbench-load-resident"
 		queryPoints = 0
+	}
+	if cfg.cache {
+		name = "spatialbench-cache"
 	}
 	doc := benchJSON{
 		Name:      name,
@@ -96,6 +101,7 @@ func writeBenchJSON(cfg loadConfig, queries int, elapsed time.Duration,
 	doc.CoverPlan = coverPlans
 	doc.Calibration = calibration
 	doc.Persistence = persistence
+	doc.ResultCache = cacheBench
 	out, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err

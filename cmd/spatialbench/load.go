@@ -59,6 +59,13 @@ type loadConfig struct {
 	// phase and reports the fitted constants plus a calibrated-vs-default
 	// strategy diff.
 	calibrate bool
+
+	// cache runs the repeated-workload result-cache benchmark: a Zipf mix of
+	// request shapes driven twice — cache off, then cache on — reporting hit
+	// rate and cached-vs-executed latency. Outside -cache mode the result
+	// cache is disabled for the whole run, so BENCH_resident keeps measuring
+	// the fold path rather than memcpy from a warm entry.
+	cache bool
 }
 
 // zipfRegions builds n rectangle regions whose side lengths decay as
@@ -504,6 +511,133 @@ func compareMultiAgg(e *distbound.Engine, ds *distbound.Dataset, pool distbound.
 	return out
 }
 
+// cacheBenchJSON is the result_cache section of BENCH_cache.json: the
+// repeated-workload head-to-head between executed and cache-served queries.
+type cacheBenchJSON struct {
+	Shapes        int     `json:"shapes"`
+	Queries       int     `json:"queries"`
+	ZipfExponent  float64 `json:"zipf_exponent"`
+	HitRate       float64 `json:"hit_rate"`
+	Hits          int64   `json:"hits"`
+	Misses        int64   `json:"misses"`
+	Evictions     int64   `json:"evictions"`
+	ExecutedP50MS float64 `json:"executed_p50_ms"`
+	ExecutedP99MS float64 `json:"executed_p99_ms"`
+	CachedP50MS   float64 `json:"cached_p50_ms"`
+	CachedP99MS   float64 `json:"cached_p99_ms"`
+	SpeedupP50    float64 `json:"speedup_p50"`
+}
+
+// benchResultCache drives a Zipf-weighted mix of request shapes (bound ×
+// aggregate set) over the resident dataset twice — once with the result
+// cache disabled (every query folds) and once enabled (the popular shapes
+// serve from cache) — on the same warmed cover artifacts, so the gap is
+// exactly what the cache saves a repeated workload.
+func benchResultCache(e *distbound.Engine, ds *distbound.Dataset, cfg loadConfig) *cacheBenchJSON {
+	ctx := context.Background()
+	aggSets := [][]distbound.Agg{
+		{distbound.Count},
+		{distbound.Sum},
+		{distbound.Avg},
+		{distbound.Min, distbound.Max},
+		{distbound.Count, distbound.Sum, distbound.Avg, distbound.Min, distbound.Max},
+	}
+	var shapes []distbound.Request
+	for _, bound := range cfg.bounds {
+		if bound <= 0 {
+			continue
+		}
+		for _, aggs := range aggSets {
+			shapes = append(shapes, distbound.Request{
+				Dataset: ds, Aggs: aggs, Bound: bound, Repetitions: cfg.repetitions,
+			})
+		}
+	}
+	if len(shapes) == 0 {
+		fmt.Println("result-cache bench: no positive bounds; skipping")
+		return nil
+	}
+	// The Zipf mix: a few hot shapes over a long cold tail — the repeated
+	// dashboard/tile workload the result cache exists for.
+	const zipfS = 1.2
+	const queries = 2000
+	rng := rand.New(rand.NewSource(cfg.seed + 99))
+	z := rand.NewZipf(rng, zipfS, 1, uint64(len(shapes)-1))
+	order := make([]int, queries)
+	for i := range order {
+		order[i] = int(z.Uint64())
+	}
+
+	run := func() ([]time.Duration, error) {
+		lats := make([]time.Duration, 0, queries)
+		for _, si := range order {
+			t0 := time.Now()
+			resp, err := e.Do(ctx, shapes[si])
+			if err != nil {
+				return nil, err
+			}
+			resp.Release()
+			lats = append(lats, time.Since(t0))
+		}
+		sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+		return lats, nil
+	}
+	// Nanosecond resolution: cache hits are sub-microsecond, and rounding
+	// them to zero would degenerate the speedup ratio.
+	pct := func(lats []time.Duration, p float64) float64 {
+		return float64(lats[int(p*float64(len(lats)-1))].Nanoseconds()) / 1e6
+	}
+
+	// Warm every shape's cover artifacts with the cache off, so the executed
+	// phase measures folds on warm plans, not artifact builds.
+	e.SetResultCacheCapacity(0)
+	for si := range shapes {
+		resp, err := e.Do(ctx, shapes[si])
+		if err != nil {
+			fmt.Printf("result-cache bench: warmup failed: %v\n", err)
+			return nil
+		}
+		resp.Release()
+	}
+	executed, err := run()
+	if err != nil {
+		fmt.Printf("result-cache bench: executed phase failed: %v\n", err)
+		return nil
+	}
+
+	e.SetResultCacheCapacity(distbound.DefaultResultCacheCapacity)
+	before := e.ResultCacheStats()
+	cached, err := run()
+	if err != nil {
+		fmt.Printf("result-cache bench: cached phase failed: %v\n", err)
+		return nil
+	}
+	st := e.ResultCacheStats()
+
+	out := &cacheBenchJSON{
+		Shapes:        len(shapes),
+		Queries:       queries,
+		ZipfExponent:  zipfS,
+		Hits:          st.Hits - before.Hits,
+		Misses:        st.Misses - before.Misses,
+		Evictions:     st.Evictions - before.Evictions,
+		ExecutedP50MS: pct(executed, 0.50),
+		ExecutedP99MS: pct(executed, 0.99),
+		CachedP50MS:   pct(cached, 0.50),
+		CachedP99MS:   pct(cached, 0.99),
+	}
+	if total := out.Hits + out.Misses; total > 0 {
+		out.HitRate = float64(out.Hits) / float64(total)
+	}
+	if out.CachedP50MS > 0 {
+		out.SpeedupP50 = out.ExecutedP50MS / out.CachedP50MS
+	}
+	fmt.Printf("result cache: %d shapes, %d queries (zipf %g): hit rate %.1f%% (%d/%d); executed p50=%.3fms p99=%.3fms cached p50=%.3fms p99=%.3fms speedup(p50)=%.1f×\n",
+		out.Shapes, out.Queries, zipfS, 100*out.HitRate, out.Hits, out.Hits+out.Misses,
+		out.ExecutedP50MS, out.ExecutedP99MS, out.CachedP50MS, out.CachedP99MS, out.SpeedupP50)
+	return out
+}
+
 // runLoad executes the concurrent load benchmark.
 func runLoad(cfg loadConfig) error {
 	fmt.Printf("load mode: %d clients, %v, %d-point pool, %d regions, bounds %v, agg %v, batch %d, resident %v, skew %g\n",
@@ -526,6 +660,12 @@ func runLoad(cfg loadConfig) error {
 			cfg.skew, 100*biggest/total)
 	}
 	e := distbound.NewEngine(regions)
+	// Execution benchmarks measure execution: outside -cache mode the result
+	// cache is disabled so repeated identical queries keep exercising the
+	// fold path instead of serving a memoized copy.
+	if !cfg.cache {
+		e.SetResultCacheCapacity(0)
+	}
 
 	var ds *distbound.Dataset
 	var comparisons []pathComparison
@@ -572,6 +712,12 @@ func runLoad(cfg loadConfig) error {
 	if cfg.resident {
 		comparisons = compareResident(e, ds, pool, cfg)
 		coverPlans = compareCoverPlan(regions, pool, cfg)
+	}
+	// The cache bench leaves the result cache enabled, so the load phase in
+	// -cache mode measures the repeated workload the cache serves.
+	var cacheBench *cacheBenchJSON
+	if cfg.cache {
+		cacheBench = benchResultCache(e, ds, cfg)
 	}
 	var multiAggs []multiAggComparison
 	if cfg.multiagg {
@@ -730,8 +876,12 @@ func runLoad(cfg loadConfig) error {
 			return fmt.Errorf("persistence phase: %w", err)
 		}
 	}
+	if cfg.cache {
+		st := e.ResultCacheStats()
+		fmt.Printf("result cache (load phase included): hits=%d misses=%d evictions=%d\n", st.Hits, st.Misses, st.Evictions)
+	}
 	if cfg.jsonPath != "" {
-		if err := writeBenchJSON(cfg, len(all), elapsed, pct, all[len(all)-1], strategies, comparisons, multiAggs, coverPlans, calibration, persistence); err != nil {
+		if err := writeBenchJSON(cfg, len(all), elapsed, pct, all[len(all)-1], strategies, comparisons, multiAggs, coverPlans, calibration, persistence, cacheBench); err != nil {
 			return fmt.Errorf("writing %s: %w", cfg.jsonPath, err)
 		}
 		fmt.Printf("wrote %s\n", cfg.jsonPath)

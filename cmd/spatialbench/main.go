@@ -94,6 +94,7 @@ func main() {
 		resident    = flag.Bool("resident", false, "load mode: register the pool as a resident dataset and drive AggregateDataset")
 		persist     = flag.Bool("persist", false, "load mode: after the run, checkpoint the resident dataset to disk, log a mutation tail, reopen it in a second engine and verify bit-identical serving (requires -resident)")
 		multiagg    = flag.Bool("multiagg", false, "load mode: head-to-head of one Do carrying all five aggregates vs five sequential calls, per bound")
+		cacheMode   = flag.Bool("cache", false, "load mode: repeated-workload result-cache benchmark — a Zipf mix of request shapes with the cache off then on, reporting hit rate and cached-vs-executed latency (requires -resident)")
 		jsonPath    = flag.String("json", "", "load mode: write throughput/latency results to this path as BENCH_*.json output")
 
 		ingest           = flag.Bool("ingest", false, "load mode: mixed append/query workload — half the pool resident, half streamed in by a writer while readers query")
@@ -147,12 +148,16 @@ func main() {
 		return
 	}
 
-	if (*resident || *ingest || *multiagg || *calibrate || *persist || *jsonPath != "" || *skew > 0) && *concurrency <= 0 {
-		fmt.Fprintln(os.Stderr, "-resident, -ingest, -multiagg, -calibrate, -persist, -skew and -json require load mode (-concurrency N > 0)")
+	if (*resident || *ingest || *multiagg || *calibrate || *persist || *cacheMode || *jsonPath != "" || *skew > 0) && *concurrency <= 0 {
+		fmt.Fprintln(os.Stderr, "-resident, -ingest, -multiagg, -calibrate, -persist, -cache, -skew and -json require load mode (-concurrency N > 0)")
 		os.Exit(2)
 	}
 	if *persist && !*resident {
 		fmt.Fprintln(os.Stderr, "-persist checkpoints the resident dataset; it requires -resident")
+		os.Exit(2)
+	}
+	if *cacheMode && !*resident {
+		fmt.Fprintln(os.Stderr, "-cache benchmarks the dataset-keyed result cache; it requires -resident")
 		os.Exit(2)
 	}
 	if *skew > 0 && *ingest {
@@ -195,6 +200,7 @@ func main() {
 			compactThreshold: *compactThreshold,
 			skew:             *skew,
 			calibrate:        *calibrate,
+			cache:            *cacheMode,
 		}
 		run := runLoad
 		if cfg.ingest {

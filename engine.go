@@ -91,6 +91,12 @@ type Engine struct {
 	datasets map[string]*Dataset
 	pidx     *cache.Cache[pidxKey, *join.PointIdxJoiner]
 
+	// results caches executed Responses by (dataset identity, mutation
+	// epoch, bound, aggregate set, override); see resultcache.go. Mutations
+	// invalidate by bumping the epoch — prior keys become unreachable and
+	// age out of the LRU.
+	results *cache.ShardedLRU[resultKey, *cachedResponse]
+
 	// scratch recycles respScratch instances across Do/DoBatch; together
 	// with the joiner-level plan scratch it makes the warm resident path
 	// allocation-free for callers that Release their Responses.
@@ -132,6 +138,7 @@ func NewEngine(regions []Region) *Engine {
 		brj:      cache.New[float64, *join.BRJJoiner](DefaultBRJCacheCapacity),
 		datasets: map[string]*Dataset{},
 		pidx:     cache.New[pidxKey, *join.PointIdxJoiner](DefaultCoverCacheCapacity),
+		results:  newResultCache(),
 	}
 }
 
@@ -328,6 +335,11 @@ type DatasetStats struct {
 	// DeltaLive / DeltaDead split the un-compacted tail into rows still
 	// queryable and rows deleted again before compaction collected them.
 	DeltaLive, DeltaDead int
+	// Epoch is the dataset's mutation counter: every Append, Delete and
+	// Compact bumps it, and the result cache keys on it — so Epoch is also
+	// the number of times cached results for this dataset have been
+	// invalidated.
+	Epoch uint64
 
 	// Durable reports whether the dataset is bound to an on-disk snapshot +
 	// write-ahead log (Persist/OpenDataset); the fields below are zero
@@ -379,11 +391,21 @@ func (d *Dataset) MemoryBytes() int { return d.src.MemoryBytes() }
 // Generation returns the dataset's compaction generation.
 func (d *Dataset) Generation() uint64 { return d.src.Gen() }
 
+// Epoch returns the dataset's mutation epoch — bumped by every Append,
+// Delete and Compact that changed anything. It is the result cache's
+// invalidation currency (see resultcache.go), exposed so layers above the
+// engine (the shard scatter-gather, the serving daemon) can key their own
+// caches on the same counter.
+//
+//distbound:noalloc
+func (d *Dataset) Epoch() uint64 { return d.src.Epoch() }
+
 // Stats returns the dataset's current accounting snapshot.
 func (d *Dataset) Stats() DatasetStats {
 	s := d.src.Snapshot()
 	st := DatasetStats{
 		Generation: s.Gen(),
+		Epoch:      s.Epoch(),
 		Live:       s.LiveLen(),
 		Base:       s.BaseLen(),
 		Tombstones: s.Tombstones(),

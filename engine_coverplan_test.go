@@ -104,6 +104,9 @@ func TestWarmResidentDoAllocationFree(t *testing.T) {
 	}
 	e, ds, _ := requestFixture(t)
 	e.SetWorkers(1)
+	// The gate is about the executed warm path; a result-cache hit is
+	// trivially allocation-free and gated by TestCachedDoAllocationFree.
+	e.SetResultCacheCapacity(0)
 	ds.Compact()
 	ctx := context.Background()
 	// The strategy is pinned: the gate is about the execution path, not the
@@ -136,6 +139,9 @@ func TestWarmResidentDoAllocationFree(t *testing.T) {
 func TestResponseReleaseSemantics(t *testing.T) {
 	e, ds, _ := requestFixture(t)
 	e.SetWorkers(1)
+	// Scratch recycling is only observable on executed responses; cached
+	// hits deliberately never touch the pool (see resultcache.go).
+	e.SetResultCacheCapacity(0)
 	ctx := context.Background()
 	pidx := StrategyPointIdx
 	req := Request{Dataset: ds, Aggs: []Agg{Count}, Bound: 16, Strategy: &pidx}

@@ -133,6 +133,9 @@ func TestPersistedWarmResidentAllocationFree(t *testing.T) {
 	}
 	e2 := NewEngine(dataRegions(92, 5, 5, 8))
 	e2.SetWorkers(1)
+	// The gate is about the executed warm path over the reopened base; a
+	// result-cache hit would be trivially allocation-free.
+	e2.SetResultCacheCapacity(0)
 	ds2, err := e2.OpenDataset("req-recovered", dir, PersistConfig{})
 	if err != nil {
 		t.Fatal(err)

@@ -24,6 +24,17 @@
 //     accessors that legitimately hand scratch out carry
 //     //distbound:allow-scratch-escape <reason>.
 //
+//   - pooled response cached: a pooled Response (one with a Release method
+//     and a scratch-backed field) handed to a result cache's Put. A cache
+//     entry outlives the inserting request and is shared by every later hit,
+//     so it must be a refcounted copy decoupled from the pool — caching the
+//     pooled Response itself lets a hit's Release hand shared storage back
+//     to the pool while other holders still read it. Caches are recognized
+//     by type name ("Cache"/"LRU"); sync.Pool's own Put is exempt, that IS
+//     the sanctioned return path. Plain GC-managed Response types (no
+//     Release, no scratch field — the shard layer's merged responses) may be
+//     cached directly and are not flagged.
+//
 // Matching is name-based (type named Response with a Release method, type
 // names with a scratch suffix) so fixtures can model the shapes without
 // importing the engine.
@@ -45,7 +56,8 @@ const Annotation = "allow-scratch-escape"
 var Analyzer = &analysis.Analyzer{
 	Name: "releasepair",
 	Doc: "flag reads of Response.Results/Plan/Explain after Release() on any path, " +
-		"and pooled scratch values escaping their owning function",
+		"pooled scratch values escaping their owning function, " +
+		"and pooled Responses inserted into result caches",
 	Run: run,
 }
 
@@ -65,6 +77,7 @@ func run(pass *analysis.Pass) (any, error) {
 			}
 			checkUseAfterRelease(pass, fd.Body)
 			checkScratchEscape(pass, file, fd)
+			checkCachePut(pass, fd)
 		}
 	}
 	return nil, nil
@@ -371,6 +384,78 @@ func sinkViolation(pass *analysis.Pass, lhs ast.Expr) bool {
 		return true
 	case *ast.IndexExpr:
 		return true // map/slice stores outlive the frame conservatively
+	}
+	return false
+}
+
+// ---- pooled response cached ----
+
+// checkCachePut flags pooled Responses handed to a result cache's Put. The
+// cached entry is shared by every later hit, so it must be refcounted and
+// pool-decoupled; the pooled Response itself is neither.
+func checkCachePut(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Put" {
+			return true
+		}
+		if !isCacheType(pass.TypesInfo.Types[sel.X].Type) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if isPooledResponse(pass.TypesInfo.Types[arg].Type) {
+				pass.Reportf(arg.Pos(),
+					"pooled Response inserted into a result cache; a later hit would share "+
+						"pool-backed storage and its Release would return it mid-read — "+
+						"cache a refcounted, pool-decoupled copy instead")
+			}
+		}
+		return true
+	})
+}
+
+// isCacheType reports whether t names a result-cache type: a named type (or
+// pointer to one, possibly generic) whose name contains "cache" or "lru"
+// case-insensitively. sync.Pool deliberately does not match — Put on a pool
+// is the sanctioned return path for pooled storage.
+func isCacheType(t types.Type) bool {
+	name, _ := namedName(t)
+	low := strings.ToLower(name)
+	return strings.Contains(low, "cache") || strings.Contains(low, "lru")
+}
+
+// isPooledResponse reports whether t is a pooled Response: a named type (or
+// pointer to one) named Response carrying both a Release method and a
+// scratch-backed field. Responses without either — the shard layer's plain
+// merged responses — are ordinary GC-managed values and cache safely.
+func isPooledResponse(t types.Type) bool {
+	name, named := namedName(t)
+	if name != "Response" || named == nil {
+		return false
+	}
+	hasRelease := false
+	for i := 0; i < named.NumMethods(); i++ {
+		if named.Method(i).Name() == "Release" {
+			hasRelease = true
+			break
+		}
+	}
+	if !hasRelease {
+		return false
+	}
+	str, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < str.NumFields(); i++ {
+		f := str.Field(i)
+		if strings.EqualFold(f.Name(), "scratch") || isScratch(f.Type()) {
+			return true
+		}
 	}
 	return false
 }

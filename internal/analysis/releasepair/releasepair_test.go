@@ -10,3 +10,10 @@ import (
 func TestReleasePair(t *testing.T) {
 	analysistest.Run(t, ".", releasepair.Analyzer, "release")
 }
+
+// TestCachePut exercises the pooled-response-cached rule's negative space:
+// a Response without Release or scratch (the shard layer's merged shape)
+// may be cached directly.
+func TestCachePut(t *testing.T) {
+	analysistest.Run(t, ".", releasepair.Analyzer, "cacheput")
+}

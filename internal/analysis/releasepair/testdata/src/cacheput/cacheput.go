@@ -1,0 +1,24 @@
+// Package cacheput models the shard layer's plain merged Response: no
+// Release method, no scratch field — an ordinary GC-managed value the
+// result cache may hold directly. None of these inserts are diagnosable.
+package cacheput
+
+type Response struct {
+	Results []float64
+	Merged  bool
+}
+
+type resultLRU struct{ held map[uint64]*Response }
+
+func (c *resultLRU) Put(k uint64, v *Response) { c.held[k] = v }
+
+func cachePlain(c *resultLRU, r *Response) {
+	// Plain responses are never pooled; caching them directly is the
+	// intended design above the scatter-gather merge.
+	c.Put(1, r)
+}
+
+func cacheCopy(c *resultLRU, r Response) {
+	cp := r
+	c.Put(2, &cp)
+}

@@ -1,0 +1,43 @@
+package release
+
+// resultCache models the engine's sharded result-cache shape: a Put that
+// retains its value past the inserting call.
+type resultCache struct{ held map[uint64]*Response }
+
+func (c *resultCache) Put(k uint64, v *Response) { c.held[k] = v }
+
+// refLRU models the sanctioned insert currency: a refcounted wrapper whose
+// storage is decoupled from the response pool.
+type cachedResponse struct {
+	results []float64
+	refs    int
+}
+
+type refLRU struct{ held map[uint64]*cachedResponse }
+
+func (c *refLRU) Put(k uint64, v *cachedResponse) { c.held[k] = v }
+
+// respPool models sync.Pool: Put on a pool is the sanctioned return path.
+type respPool struct{ slot *Response }
+
+func (p *respPool) Put(v *Response) { p.slot = v }
+
+func cachePooled(c *resultCache, r *Response) {
+	c.Put(1, r) // want `pooled Response inserted into a result cache`
+}
+
+func cachePooledValue(c *resultCache, r *Response) {
+	// Passing a fresh pointer to the same pooled value is no safer.
+	cp := r
+	c.Put(2, cp) // want `pooled Response inserted into a result cache`
+}
+
+func cacheRefcounted(c *refLRU, r *Response) {
+	// The sanctioned shape: deep-copy into a refcounted wrapper first.
+	c.Put(3, &cachedResponse{results: append([]float64(nil), r.Results...), refs: 1})
+}
+
+func poolReturn(p *respPool, r *Response) {
+	// A pool's Put IS where pooled storage goes home; never flagged.
+	p.Put(r)
+}

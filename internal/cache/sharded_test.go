@@ -1,0 +1,132 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestShardedLRUBasics(t *testing.T) {
+	c := NewShardedLRU[int, string](64, nil)
+	if _, ok := c.Get(1); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(1, "one")
+	if v, ok := c.Get(1); !ok || v != "one" {
+		t.Fatalf("Get(1) = %q, %v", v, ok)
+	}
+	c.Put(1, "uno")
+	if v, ok := c.Get(1); !ok || v != "uno" {
+		t.Fatalf("after replace Get(1) = %q, %v", v, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 || st.Evictions != 1 {
+		t.Fatalf("stats = %+v, want 2 hits, 1 miss, 1 eviction (replacement)", st)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestShardedLRUEvictsColdEntries(t *testing.T) {
+	var mu sync.Mutex
+	evicted := map[int]bool{}
+	c := NewShardedLRU[int, int](64, func(v int) {
+		mu.Lock()
+		evicted[v] = true
+		mu.Unlock()
+	})
+	// Overfill well past capacity: the per-shard bound (64/16 = 4 entries)
+	// must hold, the overflow must land in onEvict, and a recently touched
+	// key must survive its colder shard-mates.
+	for i := 0; i < 500; i++ {
+		c.Put(i, i)
+		c.Get(0) // keep key 0 hot
+	}
+	if got := c.Len(); got > 64 {
+		t.Fatalf("Len = %d exceeds capacity 64", got)
+	}
+	mu.Lock()
+	n := len(evicted)
+	mu.Unlock()
+	if n != 500-c.Len() {
+		t.Fatalf("%d evictions reported for %d resident of 500 inserted", n, c.Len())
+	}
+	if _, ok := c.Get(0); !ok {
+		t.Fatal("hot key 0 was evicted while colder shard-mates survived")
+	}
+	if st := c.Stats(); st.Evictions != int64(n) {
+		t.Fatalf("Stats.Evictions = %d, want %d", st.Evictions, n)
+	}
+}
+
+func TestShardedLRUSetCapacity(t *testing.T) {
+	dropped := 0
+	c := NewShardedLRU[int, int](256, func(int) { dropped++ })
+	for i := 0; i < 100; i++ {
+		c.Put(i, i)
+	}
+	if c.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", c.Len())
+	}
+	c.SetCapacity(0)
+	if c.Len() != 0 {
+		t.Fatalf("Len after disable = %d, want 0", c.Len())
+	}
+	if dropped != 100 {
+		t.Fatalf("%d values dropped on disable, want 100", dropped)
+	}
+	// Disabled: Put rejects (still through onEvict), Get misses.
+	c.Put(1, 1)
+	if dropped != 101 {
+		t.Fatalf("disabled Put bypassed onEvict (dropped = %d)", dropped)
+	}
+	if _, ok := c.Get(1); ok {
+		t.Fatal("hit on disabled cache")
+	}
+	c.SetCapacity(64)
+	c.Put(1, 1)
+	if _, ok := c.Get(1); !ok {
+		t.Fatal("re-enabled cache refused an entry")
+	}
+}
+
+func TestShardedLRUConcurrent(t *testing.T) {
+	c := NewShardedLRU[string, int](128, func(int) {})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				k := fmt.Sprintf("k%d", i%200)
+				if v, ok := c.Get(k); ok && v != i%200 {
+					t.Errorf("Get(%s) = %d", k, v)
+				}
+				c.Put(k, i%200)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 128 {
+		t.Fatalf("Len = %d exceeds capacity", c.Len())
+	}
+}
+
+func TestShardedLRUGetAllocFree(t *testing.T) {
+	c := NewShardedLRU[uint64, *int](64, nil)
+	v := 42
+	for i := uint64(0); i < 8; i++ {
+		c.Put(i, &v)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := uint64(0); i < 8; i++ {
+			if _, ok := c.Get(i); !ok {
+				t.Fatal("miss on resident key")
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Get allocates %v per run of 8 hits; the hit path must be allocation-free", allocs)
+	}
+}

@@ -73,19 +73,33 @@ type coverPlan struct {
 	stabRegions []int32
 }
 
+// resolvedSpans is the span resolution of the plan's boundary keys against
+// one base column: the positions SpanMulti located plus the per-range SoA
+// span list [spanLo[u], spanHi[u]) the batched folds consume. The resolution
+// depends only on the plan and the base store — not on deltas, tombstones or
+// the query — so it is computed once per base identity, published through
+// the joiner's atomic pointer, and shared read-only by every query until a
+// compaction installs a new base. That makes cover-plan maintenance across
+// compactions incremental: the deduplicated range list, region postings,
+// boundary keys and stab lists survive verbatim, and the first query against
+// the new base re-runs only this resolution.
+type resolvedSpans struct {
+	base     *pointstore.Store // identity of the base column resolved against
+	resolved []int             // per boundary key: position of the first column key ≥ it
+	spanLo   []int
+	spanHi   []int
+}
+
+// memoryBytes is the resolution's resident footprint.
+func (rs *resolvedSpans) memoryBytes() int {
+	return 8 * (len(rs.resolved) + len(rs.spanLo) + len(rs.spanHi))
+}
+
 // planScratch is the reusable per-query workspace of a cover-plan
 // execution, recycled through the joiner's sync.Pool so the warm path
 // allocates nothing. Every slice is sized once for the joiner's fixed plan
 // and region count.
 type planScratch struct {
-	resolved []int // per boundary key: position of the first column key ≥ it
-
-	// Structure-of-arrays span list: per unique range, the resolved base-row
-	// bounds [spanLo[u], spanHi[u]) — the input the batched span folds
-	// consume in one pass instead of a per-range probe call.
-	spanLo []int
-	spanHi []int
-
 	cnt []int64 // per unique range: live row count
 	sum []float64
 	mn  []float64
@@ -259,11 +273,8 @@ func (p *coverPlan) memoryBytes() int {
 //distbound:allow-scratch-escape pool accessor; AggregateMultiInto returns the workspace to the pool before returning
 func (p *coverPlan) newScratch(numReg int, hasW bool) *planScratch {
 	sc := &planScratch{
-		resolved: make([]int, len(p.bkeys)),
-		spanLo:   make([]int, len(p.uniq)),
-		spanHi:   make([]int, len(p.uniq)),
-		cnt:      make([]int64, len(p.uniq)),
-		dCnt:     make([]int64, numReg),
+		cnt:  make([]int64, len(p.uniq)),
+		dCnt: make([]int64, numReg),
 	}
 	if hasW {
 		sc.sum = make([]float64, len(p.uniq))
@@ -303,21 +314,24 @@ func (j *PointIdxJoiner) AggregateMultiInto(ctx context.Context, aggs []Agg, wor
 	sc := j.scratch.Get().(*planScratch)
 	defer j.scratch.Put(sc)
 
+	// Span resolution is shared, not per-query: spansFor returns the plan's
+	// published resolution when snap still serves the base it was resolved
+	// against, and re-resolves — the one incremental step a compaction forces
+	// — only on base-identity change.
+	rs, err := j.spansFor(ctx, snap, workers)
+	if err != nil {
+		return ProbeStats{}, err
+	}
 	if workers > 1 {
-		if err := j.resolveAndProbe(ctx, snap, sc, needs, workers); err != nil {
+		if err := j.probeShards(ctx, snap, rs, sc, needs, workers); err != nil {
 			return ProbeStats{}, err
 		}
 	} else {
-		if canceled(done) {
-			return ProbeStats{}, ctx.Err()
-		}
-		snap.SpanMulti(p.bkeys, sc.resolved)
-		resolveSpans(p, sc, snap.BaseLen())
 		for lo, n := 0, len(p.uniq); lo < n; lo += cancelStride {
 			if canceled(done) {
 				return ProbeStats{}, ctx.Err()
 			}
-			probeRanges(snap, sc, needs, lo, min(lo+cancelStride, n))
+			probeRanges(snap, rs, sc, needs, lo, min(lo+cancelStride, n))
 		}
 	}
 
@@ -364,27 +378,77 @@ func (j *PointIdxJoiner) AggregateMultiInto(ctx context.Context, aggs []Agg, wor
 	return stats, nil
 }
 
-// resolveAndProbe runs phases 1 and 2 across workers: boundary chunks are
-// swept concurrently (each chunk's first probe gallops from the column
-// start, the rest ride the monotone cursor), then the unique ranges are
-// probed in shards weighted by resolved span length, so one huge range
-// cannot serialize a worker behind a tail of small ones.
-func (j *PointIdxJoiner) resolveAndProbe(ctx context.Context, snap *pointstore.Snapshot, sc *planScratch, needs aggNeeds, workers int) error {
-	p := j.plan
-	chunks := shardBounds(len(p.bkeys), workers)
-	err := pool.RunCtx(ctx, len(chunks), len(chunks), func(_, ci int) error {
-		lo, hi := chunks[ci][0], chunks[ci][1]
-		snap.SpanMulti(p.bkeys[lo:hi], sc.resolved[lo:hi])
-		return nil
-	})
-	if err != nil {
-		return err
+// spansFor returns the plan's span resolution for snap's base: the published
+// one when the base identity matches (the warm path — one atomic load, no
+// allocation), a fresh resolution otherwise. Two queries racing past a
+// compaction may both resolve; they produce identical content from the same
+// immutable base, so either publication is correct and the loser's work is
+// garbage, not corruption.
+//
+//distbound:noalloc
+func (j *PointIdxJoiner) spansFor(ctx context.Context, snap *pointstore.Snapshot, workers int) (*resolvedSpans, error) {
+	if rs := j.spans.Load(); rs != nil && rs.base == snap.BaseStore() {
+		return rs, nil
 	}
-	resolveSpans(p, sc, snap.BaseLen())
+	rs, err := j.refreshSpans(ctx, snap, workers)
+	if err != nil {
+		return nil, err
+	}
+	j.spans.Store(rs)
+	return rs, nil
+}
+
+// refreshSpans is the incremental cover-plan maintenance step: every unique
+// span boundary is resolved against snap's base column in a monotone sweep
+// (chunked across workers when asked), and the hiB = -1 sentinel becomes the
+// column end. The plan's range list, postings and stab lists are untouched —
+// they depend only on regions and bound — so this is all a compaction costs
+// the cover plan.
+func (j *PointIdxJoiner) refreshSpans(ctx context.Context, snap *pointstore.Snapshot, workers int) (*resolvedSpans, error) {
+	p := j.plan
+	rs := &resolvedSpans{
+		base:     snap.BaseStore(),
+		resolved: make([]int, len(p.bkeys)),
+		spanLo:   make([]int, len(p.uniq)),
+		spanHi:   make([]int, len(p.uniq)),
+	}
+	if workers > 1 {
+		chunks := shardBounds(len(p.bkeys), workers)
+		err := pool.RunCtx(ctx, len(chunks), len(chunks), func(_, ci int) error {
+			lo, hi := chunks[ci][0], chunks[ci][1]
+			snap.SpanMulti(p.bkeys[lo:hi], rs.resolved[lo:hi])
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		if canceled(ctx.Done()) {
+			return nil, ctx.Err()
+		}
+		snap.SpanMulti(p.bkeys, rs.resolved)
+	}
+	baseLen := snap.BaseLen()
+	for u := range p.uniq {
+		rs.spanLo[u] = rs.resolved[p.loB[u]]
+		if p.hiB[u] >= 0 {
+			rs.spanHi[u] = rs.resolved[p.hiB[u]]
+		} else {
+			rs.spanHi[u] = baseLen
+		}
+	}
+	return rs, nil
+}
+
+// probeShards runs phase 2 across workers: the unique ranges are probed in
+// shards weighted by resolved span length, so one huge range cannot
+// serialize a worker behind a tail of small ones.
+func (j *PointIdxJoiner) probeShards(ctx context.Context, snap *pointstore.Snapshot, rs *resolvedSpans, sc *planScratch, needs aggNeeds, workers int) error {
+	p := j.plan
 	spanLen := func(u int) int64 {
 		// The +16 floor charges the fixed per-range work (tombstone searches,
 		// prefix lookups) so empty spans still count toward balance.
-		return int64(sc.spanHi[u]-sc.spanLo[u]) + 16
+		return int64(rs.spanHi[u]-rs.spanLo[u]) + 16
 	}
 	shards := pool.SplitWeighted(len(p.uniq), workers, spanLen, sc.shards)
 	sc.shards = shards
@@ -394,35 +458,21 @@ func (j *PointIdxJoiner) resolveAndProbe(ctx context.Context, snap *pointstore.S
 			if canceled(done) {
 				return ctx.Err()
 			}
-			probeRanges(snap, sc, needs, lo, min(lo+cancelStride, shards[si][1]))
+			probeRanges(snap, rs, sc, needs, lo, min(lo+cancelStride, shards[si][1]))
 		}
 		return nil
 	})
 }
 
-// resolveSpans turns the resolved boundary positions into the per-range SoA
-// span list [spanLo[u], spanHi[u]): the hiB = -1 sentinel becomes the column
-// end. One branchy pass here buys branch-free batched folds below.
-//
-//distbound:noalloc
-func resolveSpans(p *coverPlan, sc *planScratch, baseLen int) {
-	for u := range p.uniq {
-		sc.spanLo[u] = sc.resolved[p.loB[u]]
-		if p.hiB[u] >= 0 {
-			sc.spanHi[u] = sc.resolved[p.hiB[u]]
-		} else {
-			sc.spanHi[u] = baseLen
-		}
-	}
-}
-
 // probeRanges computes the span aggregates of unique ranges [lo, hi) into the
 // scratch columns — the shared values every posting region folds from — via
-// the batched span folds, one pass per needed aggregate column.
+// the batched span folds, one pass per needed aggregate column. The span
+// bounds come from the shared resolution, which the caller has matched to
+// snap's base.
 //
 //distbound:noalloc
-func probeRanges(snap *pointstore.Snapshot, sc *planScratch, needs aggNeeds, lo, hi int) {
-	los, his := sc.spanLo[lo:hi], sc.spanHi[lo:hi]
+func probeRanges(snap *pointstore.Snapshot, rs *resolvedSpans, sc *planScratch, needs aggNeeds, lo, hi int) {
+	los, his := rs.spanLo[lo:hi], rs.spanHi[lo:hi]
 	snap.CountSpans(los, his, sc.cnt[lo:hi])
 	if needs.sum {
 		snap.SumSpans(los, his, sc.sum[lo:hi])

@@ -264,3 +264,114 @@ func TestCoverPlanWeightedFoldIsolation(t *testing.T) {
 	// the weighted sharding.
 	checkPlanMatchesPerRegion(t, "weighted-fold", pj, []Agg{Count})
 }
+
+// TestResolvedSpansIncrementalMaintenance pins the sharing contract of the
+// span resolution: queries against one base — including under appends and
+// deletes, which never move base rows — reuse one published resolvedSpans;
+// a compaction's new base forces exactly one re-resolution, reusing the
+// plan's range list, postings and stab lists by identity; and results stay
+// bit-identical to the reference execution across the switch.
+func TestResolvedSpansIncrementalMaintenance(t *testing.T) {
+	pts, _ := data.TaxiPoints(31, 8000)
+	// Integer weights: the two executions associate the delta tail's float
+	// sums differently by design, and exact weights keep that invisible.
+	weights := make([]float64, len(pts))
+	for i := range weights {
+		weights[i] = float64(1 + i%37)
+	}
+	ps := PointSet{Pts: pts, Weights: weights}
+	regions := data.Regions(data.Partition(32, 4, 4, 6))
+	store, err := pointstore.NewMutable(pts, weights, data.CityDomain(), sfc.Hilbert{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pj, err := NewPointIdxJoiner(regions, store, 16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pj.spans.Load() != nil {
+		t.Fatal("construction resolved spans before any query")
+	}
+	aggs := []Agg{Count, Sum, Min, Max}
+	checkPlanMatchesPerRegion(t, "cold", pj, aggs)
+	rs1 := pj.spans.Load()
+	if rs1 == nil {
+		t.Fatal("first query published no span resolution")
+	}
+	if rs1.base != store.Snapshot().BaseStore() {
+		t.Fatal("published resolution names a foreign base")
+	}
+
+	// Mutations that keep the base: the resolution must survive untouched.
+	ids, err := store.Append(ps.Pts[:500], ps.Weights[:500])
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.Delete(ids[:100]...)
+	store.Delete(3, 5, 7)
+	checkPlanMatchesPerRegion(t, "mutated-same-base", pj, aggs)
+	if pj.spans.Load() != rs1 {
+		t.Fatal("append/delete re-resolved spans; only a base change should")
+	}
+
+	plan := pj.plan
+	store.Compact()
+	checkPlanMatchesPerRegion(t, "post-compaction", pj, aggs)
+	rs2 := pj.spans.Load()
+	if rs2 == rs1 {
+		t.Fatal("compaction did not refresh the span resolution")
+	}
+	if rs2.base != store.Snapshot().BaseStore() {
+		t.Fatal("refreshed resolution names a stale base")
+	}
+	if pj.plan != plan {
+		t.Fatal("compaction rebuilt the cover plan; maintenance must be incremental")
+	}
+	// The steady state after the refresh shares again.
+	if _, err := pj.AggregateMulti(context.Background(), aggs, 1); err != nil {
+		t.Fatal(err)
+	}
+	if pj.spans.Load() != rs2 {
+		t.Fatal("post-compaction queries keep re-resolving")
+	}
+}
+
+// BenchmarkCoverPlanRebuild is the incremental-maintenance acceptance
+// benchmark: what the first query after a compaction pays. "refresh" is the
+// incremental step — re-resolving span boundaries against the new base,
+// reusing the plan verbatim; "fromscratch" rebuilds the global plan from
+// the per-region covers and then resolves, which is what a non-incremental
+// design would owe. The acceptance criterion is refresh ≥ 2× faster.
+func BenchmarkCoverPlanRebuild(b *testing.B) {
+	pts, weights := data.TaxiPoints(31, 100_000)
+	regions := data.Regions(data.Partition(32, 8, 8, 6))
+	store, err := pointstore.NewMutable(pts, weights, data.CityDomain(), sfc.Hilbert{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pj, err := NewPointIdxJoiner(regions, store, 16, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	snap := store.Snapshot()
+
+	b.Run("refresh", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := pj.refreshSpans(ctx, snap, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("fromscratch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			plan := buildCoverPlan(pj.covers)
+			if len(plan.uniq) != len(pj.plan.uniq) {
+				b.Fatal("rebuilt plan diverged")
+			}
+			if _, err := pj.refreshSpans(ctx, snap, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

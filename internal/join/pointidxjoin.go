@@ -6,6 +6,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"distbound/internal/geom"
 	"distbound/internal/pointstore"
@@ -45,8 +46,12 @@ type PointIdxJoiner struct {
 	// plan is the global cover plan (coverplan.go): all (region, range)
 	// pairs flattened into one sorted, deduplicated range list with region
 	// postings, plus the sorted boundary-key list one monotone sweep
-	// resolves. scratch recycles the per-query workspace sized for it.
+	// resolves. spans publishes the plan's current span resolution — shared
+	// by every query against one base, re-resolved incrementally when a
+	// compaction installs a new one. scratch recycles the per-query
+	// workspace sized for the plan.
 	plan    *coverPlan
+	spans   atomic.Pointer[resolvedSpans]
 	scratch sync.Pool
 }
 
@@ -117,9 +122,15 @@ func (j *PointIdxJoiner) NumBoundaryProbes() int { return len(j.plan.bkeys) }
 func (j *PointIdxJoiner) UniqueRanges() []raster.PosRange { return j.plan.uniq }
 
 // MemoryBytes returns the cover artifact's footprint — the per-region
-// ranges (16 bytes each) plus the global cover plan — excluding the shared
-// dataset.
-func (j *PointIdxJoiner) MemoryBytes() int { return 16*j.ranges + j.plan.memoryBytes() }
+// ranges (16 bytes each), the global cover plan, and the current span
+// resolution if one is published — excluding the shared dataset.
+func (j *PointIdxJoiner) MemoryBytes() int {
+	n := 16*j.ranges + j.plan.memoryBytes()
+	if rs := j.spans.Load(); rs != nil {
+		n += rs.memoryBytes()
+	}
+	return n
+}
 
 // validate mirrors PointSet.validate for the resident dataset.
 func (j *PointIdxJoiner) validate(agg Agg) error {

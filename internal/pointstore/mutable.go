@@ -60,7 +60,8 @@ type Snapshot struct {
 	deltaPts  []geom.Point
 	deltaDead []int // sorted delta rows deleted before compaction collected them
 
-	gen uint64 // bumped by every compaction
+	gen   uint64 // bumped by every compaction
+	epoch uint64 // bumped by every publication (Append, Delete, Compact)
 
 	matOnce sync.Once // lazily materialized survivor relation
 	matPts  []geom.Point
@@ -158,6 +159,12 @@ func (m *Mutable) Len() int { return m.Snapshot().LiveLen() }
 // Gen returns the current compaction generation.
 func (m *Mutable) Gen() uint64 { return m.Snapshot().gen }
 
+// Epoch returns the current mutation epoch — one atomic load. See
+// Snapshot.Epoch for the monotonicity contract.
+//
+//distbound:noalloc
+func (m *Mutable) Epoch() uint64 { return m.Snapshot().epoch }
+
 // Pending returns how much un-compacted state the store carries: delta rows
 // (dead ones included — queries still scan them) plus base tombstones. It is
 // the quantity an auto-compaction threshold watches.
@@ -220,6 +227,7 @@ func (m *Mutable) Append(pts []geom.Point, weights []float64) ([]uint64, error) 
 		deltaKeys: nk, deltaWs: nw, deltaIDs: ni, deltaPts: np,
 		deltaDead: s.deltaDead,
 		gen:       s.gen,
+		epoch:     s.epoch + 1,
 	})
 	return ids, nil
 }
@@ -256,6 +264,7 @@ func (m *Mutable) Delete(ids ...uint64) int {
 		deltaKeys: s.deltaKeys, deltaWs: s.deltaWs, deltaIDs: s.deltaIDs, deltaPts: s.deltaPts,
 		deltaDead: s.deltaDead,
 		gen:       s.gen,
+		epoch:     s.epoch + 1,
 	}
 	if len(newTombs) > 0 {
 		ns.tombPos = mergeSorted(s.tombPos, newTombs)
@@ -318,7 +327,7 @@ func (m *Mutable) Compact() {
 		m.deltaByID = map[uint64]int{}
 		m.snap.Store(&Snapshot{
 			base: s.base, baseIDs: s.baseIDs, basePts: s.basePts,
-			gen: s.gen + 1,
+			gen: s.gen + 1, epoch: s.epoch + 1,
 		})
 		return
 	}
@@ -357,6 +366,7 @@ func compactSnapshot(s *Snapshot, d sfc.Domain, c sfc.Curve, dropped int, hasW b
 		baseIDs: out.ids,
 		basePts: out.pts,
 		gen:     s.gen + 1,
+		epoch:   s.epoch + 1,
 	}
 	return ns, buildIDIndex(out.ids, workers)
 }
@@ -364,8 +374,26 @@ func compactSnapshot(s *Snapshot, d sfc.Domain, c sfc.Curve, dropped int, hasW b
 // Gen returns the snapshot's compaction generation.
 func (s *Snapshot) Gen() uint64 { return s.gen }
 
+// Epoch returns the snapshot's mutation epoch: a counter bumped by every
+// publication — Append, Delete and Compact alike — so two snapshots of one
+// Mutable carry the same epoch iff they are the same snapshot. Result caches
+// key on it: any mutation makes previously cached epochs unreachable.
+//
+//distbound:noalloc
+func (s *Snapshot) Epoch() uint64 { return s.epoch }
+
 // BaseLen returns the base row count, tombstoned rows included.
 func (s *Snapshot) BaseLen() int { return s.base.Len() }
+
+// BaseStore returns the snapshot's immutable base store. Two snapshots
+// returning the same pointer have byte-identical base columns — base row
+// positions resolved against one are valid against the other, which is the
+// invariant the incremental cover-plan span resolution keys on. Callers must
+// keep reading through the tombstone-aware span accessors; the store itself
+// knows nothing of deletions.
+//
+//distbound:noalloc
+func (s *Snapshot) BaseStore() *Store { return s.base }
 
 // Tombstones returns the number of tombstoned base rows.
 func (s *Snapshot) Tombstones() int { return len(s.tombPos) }

@@ -344,3 +344,72 @@ func TestMutableTombstoneBlockEdges(t *testing.T) {
 		}
 	}
 }
+
+// TestMutableEpochMonotone pins the epoch contract every result cache keys
+// on: each publication — Append, Delete, Compact, including the cheap
+// republish path — bumps the epoch exactly once, and no-op mutations leave
+// it alone.
+func TestMutableEpochMonotone(t *testing.T) {
+	d := testDomain(t)
+	rng := rand.New(rand.NewSource(7))
+	pts := randPts(rng, 100)
+	m, err := NewMutable(pts, nil, d, sfc.Hilbert{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Epoch(); got != 0 {
+		t.Fatalf("fresh store epoch = %d, want 0", got)
+	}
+	ids, err := m.Append(randPts(rng, 10), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Epoch(); got != 1 {
+		t.Fatalf("after Append epoch = %d, want 1", got)
+	}
+	if n := m.Delete(ids[0]); n != 1 {
+		t.Fatalf("Delete removed %d, want 1", n)
+	}
+	if got := m.Epoch(); got != 2 {
+		t.Fatalf("after Delete epoch = %d, want 2", got)
+	}
+	// Deleting an unknown ID publishes nothing.
+	if n := m.Delete(1 << 60); n != 0 {
+		t.Fatalf("Delete of unknown ID removed %d", n)
+	}
+	if got := m.Epoch(); got != 2 {
+		t.Fatalf("after no-op Delete epoch = %d, want 2", got)
+	}
+	before := m.Snapshot()
+	m.Compact()
+	after := m.Snapshot()
+	if after.Epoch() != 3 || after.Gen() != before.Gen()+1 {
+		t.Fatalf("after Compact epoch = %d gen = %d, want epoch 3 gen %d",
+			after.Epoch(), after.Gen(), before.Gen()+1)
+	}
+	if after.BaseStore() == before.BaseStore() {
+		t.Fatal("real compaction should build a fresh base store")
+	}
+	// Compacting an already-compact store publishes nothing.
+	m.Compact()
+	if got := m.Epoch(); got != 3 {
+		t.Fatalf("after no-op Compact epoch = %d, want 3", got)
+	}
+	// The republish path (all delta rows dead, no tombstones) swaps the
+	// snapshot but keeps the identical base store: epoch moves, identity
+	// does not.
+	ids, err = m.Append(randPts(rng, 4), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Delete(ids...)
+	pre := m.Snapshot()
+	m.Compact()
+	post := m.Snapshot()
+	if post.Epoch() != pre.Epoch()+1 {
+		t.Fatalf("republish epoch = %d, want %d", post.Epoch(), pre.Epoch()+1)
+	}
+	if post.BaseStore() != pre.BaseStore() {
+		t.Fatal("republish compaction should keep the base store identity")
+	}
+}

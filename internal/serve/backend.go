@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"distbound"
+	"distbound/internal/cache"
 	"distbound/internal/shard"
 )
 
@@ -22,6 +23,16 @@ type Backend interface {
 	// Batch answers many requests, pairing each with its own outcome — a
 	// failed request never aborts its siblings, mirroring DoBatch.
 	Batch(ctx context.Context, reqs []shard.Request) ([]shard.Response, []error)
+	// Append adds points to the dataset — weights iff it carries a weight
+	// column — returning the assigned IDs. Every successful append bumps
+	// Epoch, stranding cached results.
+	Append(pts []distbound.Point, weights []float64) ([]uint64, error)
+	// Epoch is the dataset's mutation counter (the per-shard sum on a
+	// sharded backend) — the result cache's invalidation currency.
+	Epoch() uint64
+	// ResultCacheStats reports the backend's result-cache counters: the
+	// merged scatter-gather cache when sharded, the engine cache when not.
+	ResultCacheStats() cache.Stats
 	// Describe fills the dataset half of a stats response.
 	Describe(st *StatsResponse)
 	// Close releases the backend's datasets.
@@ -51,6 +62,14 @@ func (b *ShardedBackend) Batch(ctx context.Context, reqs []shard.Request) ([]sha
 	return resps, errs
 }
 
+func (b *ShardedBackend) Append(pts []distbound.Point, weights []float64) ([]uint64, error) {
+	return b.S.Append(pts, weights)
+}
+
+func (b *ShardedBackend) Epoch() uint64 { return b.S.EpochSum() }
+
+func (b *ShardedBackend) ResultCacheStats() cache.Stats { return b.S.CacheStats() }
+
 func (b *ShardedBackend) Describe(st *StatsResponse) {
 	s := b.S.Stats()
 	st.Dataset = b.S.Name()
@@ -60,7 +79,8 @@ func (b *ShardedBackend) Describe(st *StatsResponse) {
 	st.MemoryBytes = b.S.MemoryBytes()
 	for _, sh := range s.PerShard {
 		st.Shards = append(st.Shards, ShardStats{
-			LoKey: sh.LoKey, HiKey: sh.HiKey, Live: sh.Live, Generation: sh.Generation,
+			LoKey: sh.LoKey, HiKey: sh.HiKey, Live: sh.Live,
+			Generation: sh.Generation, Epoch: sh.Epoch,
 		})
 	}
 }
@@ -166,6 +186,14 @@ func (b *UnshardedBackend) Batch(ctx context.Context, reqs []shard.Request) ([]s
 	}
 	return out, errs
 }
+
+func (b *UnshardedBackend) Append(pts []distbound.Point, weights []float64) ([]uint64, error) {
+	return b.DS.Append(pts, weights)
+}
+
+func (b *UnshardedBackend) Epoch() uint64 { return b.DS.Epoch() }
+
+func (b *UnshardedBackend) ResultCacheStats() cache.Stats { return b.E.ResultCacheStats() }
 
 func (b *UnshardedBackend) Describe(st *StatsResponse) {
 	s := b.DS.Stats()

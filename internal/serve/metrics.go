@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"distbound/internal/cache"
 )
 
 // latRingSize bounds the latency sample window the percentiles summarize;
@@ -21,6 +23,7 @@ type metrics struct {
 	queries    atomic.Uint64
 	batches    atomic.Uint64
 	batchLines atomic.Uint64
+	appends    atomic.Uint64
 	errors     atomic.Uint64
 
 	fanoutSum atomic.Uint64
@@ -69,11 +72,18 @@ func (m *metrics) percentiles() (p50, p90, p99 time.Duration) {
 }
 
 // render writes the counters in the text exposition format /metrics serves.
-func (m *metrics) render(w io.Writer, rejections uint64, draining bool) {
+// cacheStats and epoch come from the backend — the result cache and its
+// invalidation counter live below the handler layer.
+func (m *metrics) render(w io.Writer, rejections uint64, draining bool, cacheStats cache.Stats, epoch uint64) {
 	queries, batches := m.queries.Load(), m.batches.Load()
 	fmt.Fprintf(w, "distboundd_requests_total{endpoint=\"query\"} %d\n", queries)
 	fmt.Fprintf(w, "distboundd_requests_total{endpoint=\"batch\"} %d\n", batches)
+	fmt.Fprintf(w, "distboundd_requests_total{endpoint=\"append\"} %d\n", m.appends.Load())
 	fmt.Fprintf(w, "distboundd_batch_lines_total %d\n", m.batchLines.Load())
+	fmt.Fprintf(w, "distboundd_result_cache_hits_total %d\n", cacheStats.Hits)
+	fmt.Fprintf(w, "distboundd_result_cache_misses_total %d\n", cacheStats.Misses)
+	fmt.Fprintf(w, "distboundd_result_cache_evictions_total %d\n", cacheStats.Evictions)
+	fmt.Fprintf(w, "distboundd_dataset_epoch %d\n", epoch)
 	fmt.Fprintf(w, "distboundd_request_errors_total %d\n", m.errors.Load())
 	fmt.Fprintf(w, "distboundd_admission_rejections_total %d\n", rejections)
 	executed := m.batchLines.Load() + queries

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"distbound"
 	"distbound/internal/shard"
 )
 
@@ -39,6 +40,7 @@ func NewServer(backend Backend, tenantLimit int) *Server {
 	}
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("POST /v1/append", s.handleAppend)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -271,15 +273,63 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleAppend ingests points over the wire. The backend bumps its epoch on
+// success, so every cached result predating the append is stranded — the
+// handler is what lets clients (and the CI cache smoke) invalidate the
+// result cache end to end.
+func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	s.met.appends.Add(1)
+	ten := tenant(r)
+	if !s.adm.acquire(ten) {
+		s.writeError(w, http.StatusTooManyRequests, fmt.Errorf("tenant %q is at its concurrency limit", ten))
+		return
+	}
+	defer s.adm.release(ten)
+
+	var q AppendRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&q); err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if len(q.Points) == 0 {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("append needs at least one point"))
+		return
+	}
+	pts := make([]distbound.Point, len(q.Points))
+	for i, p := range q.Points {
+		pts[i] = distbound.Pt(p[0], p[1])
+	}
+	ids, err := s.backend.Append(pts, q.Weights)
+	if err != nil {
+		// Append failures are validation failures — weight-column mismatch,
+		// non-finite coordinates — never engine faults.
+		s.met.errors.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadRequest)
+		json.NewEncoder(w).Encode(AppendResponse{Error: err.Error()}) //nolint:errcheck // best-effort error body
+		return
+	}
+	out := AppendResponse{Appended: len(ids), IDs: make([]string, len(ids))}
+	for i, id := range ids {
+		out.IDs[i] = strconv.FormatUint(id, 10)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out) //nolint:errcheck // client disconnects surface as write errors
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	cs := s.backend.ResultCacheStats()
 	st := StatsResponse{
 		Backend: s.backend.Mode(),
 		Requests: map[string]uint64{
-			"query": s.met.queries.Load(),
-			"batch": s.met.batches.Load(),
+			"query":  s.met.queries.Load(),
+			"batch":  s.met.batches.Load(),
+			"append": s.met.appends.Load(),
 		},
-		Rejections: s.adm.rejections.Load(),
-		Draining:   s.draining.Load(),
+		Rejections:  s.adm.rejections.Load(),
+		Draining:    s.draining.Load(),
+		Epoch:       s.backend.Epoch(),
+		ResultCache: CacheCounters{Hits: cs.Hits, Misses: cs.Misses, Evictions: cs.Evictions},
 	}
 	s.backend.Describe(&st)
 	w.Header().Set("Content-Type", "application/json")
@@ -297,5 +347,6 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.met.render(w, s.adm.rejections.Load(), s.draining.Load())
+	s.met.render(w, s.adm.rejections.Load(), s.draining.Load(),
+		s.backend.ResultCacheStats(), s.backend.Epoch())
 }

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"distbound"
+	"distbound/internal/cache"
 	"distbound/internal/data"
 	"distbound/internal/shard"
 	"distbound/internal/testutil"
@@ -268,8 +269,13 @@ func (b *blockingBackend) Query(ctx context.Context, req shard.Request) (shard.R
 func (b *blockingBackend) Batch(ctx context.Context, reqs []shard.Request) ([]shard.Response, []error) {
 	return make([]shard.Response, len(reqs)), make([]error, len(reqs))
 }
-func (b *blockingBackend) Describe(st *StatsResponse) {}
-func (b *blockingBackend) Close()                     {}
+func (b *blockingBackend) Append(pts []distbound.Point, weights []float64) ([]uint64, error) {
+	return nil, fmt.Errorf("blocking backend is read-only")
+}
+func (b *blockingBackend) Epoch() uint64                 { return 0 }
+func (b *blockingBackend) ResultCacheStats() cache.Stats { return cache.Stats{} }
+func (b *blockingBackend) Describe(st *StatsResponse)    {}
+func (b *blockingBackend) Close()                        {}
 
 // TestAdmissionControl: with a per-tenant limit of 1, a tenant's second
 // concurrent request gets 429 while a different tenant's request proceeds;
@@ -438,6 +444,124 @@ func TestValidationErrors(t *testing.T) {
 		var q QueryResponse
 		if err := json.Unmarshal(body, &q); err != nil || q.Error == "" {
 			t.Fatalf("%+v: error body %s", tc, body)
+		}
+	}
+}
+
+// TestResultCacheOverHTTP is the daemon-level cache contract: a repeated
+// identical query is a cache hit, an append through POST /v1/append bumps
+// the epoch and strands the entry, and /v1/stats + /metrics expose all of
+// it — the same observations the CI cache smoke greps for.
+func TestResultCacheOverHTTP(t *testing.T) {
+	ts, _, _, _ := newShardedTS(t, 0)
+
+	stats := func() StatsResponse {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/v1/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var st StatsResponse
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	query := func() QueryResponse {
+		t.Helper()
+		resp, body := postJSON(t, ts.URL+"/v1/query",
+			QueryRequest{Aggs: []string{"count", "sum"}, Bound: 64}, nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("query: %d %s", resp.StatusCode, body)
+		}
+		var q QueryResponse
+		if err := json.Unmarshal(body, &q); err != nil {
+			t.Fatal(err)
+		}
+		return q
+	}
+
+	cold := query()
+	st0 := stats()
+	warm := query()
+	st1 := stats()
+	if st1.ResultCache.Hits != st0.ResultCache.Hits+1 {
+		t.Fatalf("repeated query was not a hit: %+v -> %+v", st0.ResultCache, st1.ResultCache)
+	}
+	if len(warm.Results) != len(cold.Results) {
+		t.Fatalf("hit reshaped the response: %d vs %d results", len(warm.Results), len(cold.Results))
+	}
+	for k := range cold.Results {
+		for ri := range cold.Results[k].Values {
+			if warm.Results[k].Values[ri] != cold.Results[k].Values[ri] ||
+				warm.Results[k].Counts[ri] != cold.Results[k].Counts[ri] {
+				t.Fatalf("cached result diverged at result %d region %d", k, ri)
+			}
+		}
+	}
+
+	// Append over the wire: epoch moves, the next identical query misses.
+	resp, body := postJSON(t, ts.URL+"/v1/append",
+		AppendRequest{Points: [][2]float64{{100, 100}, {200, 200}}, Weights: []float64{1, 2}}, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("append: %d %s", resp.StatusCode, body)
+	}
+	var ar AppendResponse
+	if err := json.Unmarshal(body, &ar); err != nil {
+		t.Fatal(err)
+	}
+	if ar.Appended != 2 || len(ar.IDs) != 2 {
+		t.Fatalf("append response: %+v", ar)
+	}
+	st2 := stats()
+	if st2.Epoch == st1.Epoch {
+		t.Fatalf("append left the epoch at %d", st1.Epoch)
+	}
+	if st2.Requests["append"] != 1 {
+		t.Fatalf("append counter: %+v", st2.Requests)
+	}
+	fresh := query()
+	st3 := stats()
+	if st3.ResultCache.Hits != st2.ResultCache.Hits {
+		t.Fatalf("post-append query hit a stale entry: %+v", st3.ResultCache)
+	}
+	if st3.ResultCache.Misses <= st2.ResultCache.Misses {
+		t.Fatalf("post-append query did not miss: %+v -> %+v", st2.ResultCache, st3.ResultCache)
+	}
+	// The two in-domain appended points must show up in the counts.
+	var coldTotal, freshTotal int64
+	for ri := range cold.Results[0].Counts {
+		coldTotal += cold.Results[0].Counts[ri]
+		freshTotal += fresh.Results[0].Counts[ri]
+	}
+	if freshTotal < coldTotal {
+		t.Fatalf("count total fell from %d to %d after append", coldTotal, freshTotal)
+	}
+
+	// Append rejection: weights against the schema are a 400, not a 500.
+	resp, _ = postJSON(t, ts.URL+"/v1/append",
+		AppendRequest{Points: [][2]float64{{1, 1}}}, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("weightless append on a weighted dataset: %d", resp.StatusCode)
+	}
+
+	// /metrics carries the cache counters and epoch gauges.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, want := range []string{
+		"distboundd_result_cache_hits_total",
+		"distboundd_result_cache_misses_total",
+		"distboundd_result_cache_evictions_total",
+		"distboundd_dataset_epoch",
+		"distboundd_requests_total{endpoint=\"append\"}",
+	} {
+		if !strings.Contains(string(mbody), want) {
+			t.Fatalf("/metrics missing %s:\n%s", want, mbody)
 		}
 	}
 }

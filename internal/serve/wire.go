@@ -71,17 +71,29 @@ type QueryResponse struct {
 
 // StatsResponse is the JSON body of GET /v1/stats.
 type StatsResponse struct {
-	Backend     string       `json:"backend"`
-	Dataset     string       `json:"dataset"`
-	Regions     int          `json:"regions"`
-	Live        int          `json:"live"`
-	Dropped     int          `json:"dropped"`
-	MemoryBytes int          `json:"memory_bytes"`
-	Shards      []ShardStats `json:"shards,omitempty"`
+	Backend     string `json:"backend"`
+	Dataset     string `json:"dataset"`
+	Regions     int    `json:"regions"`
+	Live        int    `json:"live"`
+	Dropped     int    `json:"dropped"`
+	MemoryBytes int    `json:"memory_bytes"`
+	// Epoch is the dataset's mutation counter (summed across shards when
+	// sharded) — every append, delete or compaction moves it, invalidating
+	// cached results.
+	Epoch  uint64       `json:"epoch"`
+	Shards []ShardStats `json:"shards,omitempty"`
 
-	Requests   map[string]uint64 `json:"requests"`
-	Rejections uint64            `json:"admission_rejections"`
-	Draining   bool              `json:"draining"`
+	Requests    map[string]uint64 `json:"requests"`
+	Rejections  uint64            `json:"admission_rejections"`
+	Draining    bool              `json:"draining"`
+	ResultCache CacheCounters     `json:"result_cache"`
+}
+
+// CacheCounters is the result cache's slice of StatsResponse.
+type CacheCounters struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
 }
 
 // ShardStats is one shard's slice of StatsResponse.
@@ -90,6 +102,23 @@ type ShardStats struct {
 	HiKey      uint64 `json:"hi_key,string"`
 	Live       int    `json:"live"`
 	Generation uint64 `json:"generation"`
+	Epoch      uint64 `json:"epoch"`
+}
+
+// AppendRequest is the JSON body of POST /v1/append: points as [x, y]
+// pairs, weights required iff the dataset carries a weight column.
+type AppendRequest struct {
+	Points  [][2]float64 `json:"points"`
+	Weights []float64    `json:"weights,omitempty"`
+}
+
+// AppendResponse answers an append. IDs serialize as decimal strings —
+// they are uint64 handles (shard-tagged on a sharded backend) that float64
+// JSON numbers cannot carry exactly.
+type AppendResponse struct {
+	Appended int      `json:"appended"`
+	IDs      []string `json:"ids"`
+	Error    string   `json:"error,omitempty"`
 }
 
 // ParseAggs maps wire aggregate names onto engine aggregates.

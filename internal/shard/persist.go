@@ -106,6 +106,7 @@ func Open(regions []distbound.Region, dir string, cfg distbound.PersistConfig) (
 		domain:  distbound.DomainForRegions(regions...),
 		hasW:    m.HasWeights,
 		dropped: m.Dropped,
+		results: newShardResultCache(),
 	}
 	prevHi := uint64(0)
 	for i, ms := range m.Shards {

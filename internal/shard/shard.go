@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"distbound"
+	"distbound/internal/cache"
 	"distbound/internal/join"
 	"distbound/internal/pool"
 )
@@ -77,6 +78,48 @@ type Sharded struct {
 	queries  atomic.Uint64
 	contacts atomic.Uint64
 	maxFan   atomic.Uint64
+
+	// results caches merged scatter-gather responses above the fan-out: a
+	// hit skips routing, the per-shard queries and the merge entirely.
+	// Invalidation is epoch-sum based — see resultKey.
+	results *cache.ShardedLRU[resultKey, *Response]
+}
+
+// resultKey identifies one cacheable scatter-gather result. epochSum is the
+// sum of every shard's mutation epoch: any Append, Delete or Compact on any
+// shard bumps that shard's epoch, moving the sum and stranding every entry
+// keyed under the old one — no scanning, no cross-shard locks. Workers and
+// Repetitions are excluded: the merge folds in ascending shard order for
+// every scatter width, and Repetitions only shapes per-shard planning.
+type resultKey struct {
+	epochSum uint64
+	bound    float64
+	aggs     uint64 // nibble-packed aggregate set
+}
+
+// packShardAggs nibble-packs an aggregate set (4 bits per aggregate,
+// value+1 so trailing zeros encode length), mirroring the engine result
+// cache's packing. Sets longer than 16 aggregates report !ok and bypass the
+// cache.
+func packShardAggs(aggs []distbound.Agg) (uint64, bool) {
+	if len(aggs) > 16 {
+		return 0, false
+	}
+	var packed uint64
+	for i, a := range aggs {
+		if a < 0 || a > 14 {
+			return 0, false
+		}
+		packed |= uint64(a+1) << (4 * i)
+	}
+	return packed, true
+}
+
+// newShardResultCache sizes the scatter-gather result cache. Merged
+// responses are plain GC-managed values (never pooled), so eviction needs no
+// release hook.
+func newShardResultCache() *cache.ShardedLRU[resultKey, *Response] {
+	return cache.NewShardedLRU[resultKey, *Response](distbound.DefaultResultCacheCapacity, nil)
 }
 
 // New partitions pts into at most n contiguous key-range shards and
@@ -110,6 +153,7 @@ func New(name string, regions []distbound.Region, pts []distbound.Point, weights
 		regions: regions,
 		domain:  distbound.DomainForRegions(regions...),
 		hasW:    weights != nil,
+		results: newShardResultCache(),
 	}
 
 	// Linearize and key-sort the in-domain points, remembering input
@@ -267,6 +311,21 @@ func (s *Sharded) Do(ctx context.Context, req Request) (Response, error) {
 	if !(req.Bound > 0) {
 		return Response{}, fmt.Errorf("shard: scatter-gather requires a positive bound, got %v", req.Bound)
 	}
+	// Result-cache probe above the whole fan-out. The epoch sum is read here,
+	// before any shard executes, so a hit serves data at least as new as this
+	// scatter could have observed — the same pre-execution keying argument as
+	// the engine's cache. A hit's Results are the cached entry's own slices;
+	// callers must treat them as read-only, which every merge/wire consumer
+	// does.
+	key, cacheable := s.cacheKey(req)
+	if cacheable {
+		if c, ok := s.results.Get(key); ok {
+			s.queries.Add(1)
+			out := *c
+			out.Wall = time.Since(t0)
+			return out, nil
+		}
+	}
 	// Any shard's engine knows the cover plan — it depends only on the
 	// shared regions, domain, curve and bound — so shard 0 doubles as the
 	// router; its cached cover artifact is the same one it executes with.
@@ -335,7 +394,52 @@ func (s *Sharded) Do(ctx context.Context, req Request) (Response, error) {
 		parts[i].Release()
 	}
 	out.Wall = time.Since(t0)
+	if cacheable {
+		// The merged Results are freshly allocated and never pooled, so the
+		// cache stores them directly — no copy, no refcount.
+		c := out
+		s.results.Put(key, &c)
+	}
 	return out, nil
+}
+
+// cacheKey computes the scatter-gather result key, reporting !ok for
+// request shapes the cache bypasses (a disabled cache, oversized or unknown
+// aggregate sets). The caller has already rejected non-positive (and NaN)
+// bounds.
+func (s *Sharded) cacheKey(req Request) (resultKey, bool) {
+	if !s.results.Enabled() {
+		return resultKey{}, false
+	}
+	packed, ok := packShardAggs(req.Aggs)
+	if !ok {
+		return resultKey{}, false
+	}
+	var sum uint64
+	for i := range s.shards {
+		sum += s.shards[i].ds.Epoch()
+	}
+	return resultKey{epochSum: sum, bound: req.Bound, aggs: packed}, true
+}
+
+// SetResultCacheCapacity re-bounds the scatter-gather result cache; 0
+// disables it. The per-shard engines keep their own result caches — this
+// governs only the merged layer above the fan-out.
+func (s *Sharded) SetResultCacheCapacity(n int) { s.results.SetCapacity(n) }
+
+// CacheStats reports the scatter-gather result cache's hit/miss/eviction
+// counters.
+func (s *Sharded) CacheStats() cache.Stats { return s.results.Stats() }
+
+// EpochSum returns the sum of every shard's mutation epoch — the
+// invalidation counter the result cache keys on. Any mutation on any shard
+// moves it.
+func (s *Sharded) EpochSum() uint64 {
+	var sum uint64
+	for i := range s.shards {
+		sum += s.shards[i].ds.Epoch()
+	}
+	return sum
 }
 
 // route returns the indexes of shards whose key interval intersects any
@@ -491,9 +595,10 @@ type ShardInfo struct {
 	// LoKey and HiKey bound the shard's owned SFC key interval, inclusive.
 	LoKey, HiKey uint64
 	// Live is the shard's live point count; Generation its compaction
-	// generation.
+	// generation; Epoch its mutation epoch.
 	Live       int
 	Generation uint64
+	Epoch      uint64
 }
 
 // Stats is a point-in-time accounting snapshot of the sharded dataset.
@@ -510,6 +615,10 @@ type Stats struct {
 	Queries        uint64
 	ContactedTotal uint64
 	MaxFanOut      int
+	// EpochSum is the result cache's invalidation counter: the sum of every
+	// shard's mutation epoch. ResultCache reports the merged-layer cache.
+	EpochSum    uint64
+	ResultCache cache.Stats
 	// PerShard holds one entry per shard, in key order.
 	PerShard []ShardInfo
 }
@@ -522,15 +631,18 @@ func (s *Sharded) Stats() Stats {
 		Queries:        s.queries.Load(),
 		ContactedTotal: s.contacts.Load(),
 		MaxFanOut:      int(s.maxFan.Load()),
+		ResultCache:    s.results.Stats(),
 	}
 	for i := range s.shards {
 		d := s.shards[i].ds.Stats()
 		st.Live += d.Live
+		st.EpochSum += d.Epoch
 		st.PerShard = append(st.PerShard, ShardInfo{
 			LoKey:      s.shards[i].lo,
 			HiKey:      s.shards[i].hi,
 			Live:       d.Live,
 			Generation: d.Generation,
+			Epoch:      d.Epoch,
 		})
 	}
 	return st

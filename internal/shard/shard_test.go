@@ -417,3 +417,132 @@ func TestShardedValidation(t *testing.T) {
 		t.Fatalf("canceled context returned %v", err)
 	}
 }
+
+// TestShardedResultCache pins the scatter-gather result cache's contract:
+// a repeated identical query is served from the cache (no new shard
+// contacts), any mutation on any shard moves the epoch sum and strands the
+// entry, and a cached answer is bit-identical to the executed one and to the
+// unsharded oracle.
+func TestShardedResultCache(t *testing.T) {
+	s, ids, e, ds, _, pts, ws := fixture(t, 21, 8000, 6)
+	ctx := context.Background()
+	req := Request{Aggs: allAggs, Bound: 64, Workers: 4}
+
+	cold, err := s.Do(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st0 := s.CacheStats()
+	if st0.Misses == 0 || s.results.Len() != 1 {
+		t.Fatalf("cold query did not populate the cache: %+v len=%d", st0, s.results.Len())
+	}
+	contacts0 := s.Stats().ContactedTotal
+
+	warm, err := s.Do(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s.CacheStats(); st.Hits != st0.Hits+1 {
+		t.Fatalf("repeated query missed: %+v -> %+v", st0, st)
+	}
+	if got := s.Stats().ContactedTotal; got != contacts0 {
+		t.Fatalf("cache hit still contacted shards: %d -> %d", contacts0, got)
+	}
+	if warm.ShardsContacted != cold.ShardsContacted || warm.RangesProbed != cold.RangesProbed {
+		t.Fatalf("hit altered routing stats: cold %+v warm %+v", cold, warm)
+	}
+	want := unshardedDo(t, e, ds, allAggs, 64)
+	for k, agg := range allAggs {
+		testutil.CheckIdentical(t, fmt.Sprintf("warm agg=%v", agg), want.Results[k], warm.Results[k])
+	}
+	want.Release()
+
+	// Workers shapes only the scatter width, never the answer, so it is
+	// excluded from the key: a different Workers still hits.
+	hits := s.CacheStats().Hits
+	if _, err := s.Do(ctx, Request{Aggs: allAggs, Bound: 64, Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.CacheStats(); st.Hits != hits+1 {
+		t.Fatalf("Workers leaked into the cache key: %+v", st)
+	}
+	// A different bound is a different key.
+	if _, err := s.Do(ctx, Request{Aggs: allAggs, Bound: 128}); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.CacheStats(); st.Hits != hits+1 {
+		t.Fatalf("distinct bound hit a stale entry: %+v", st)
+	}
+
+	// Every mutation kind moves the epoch sum and strands the entry.
+	mutate := []struct {
+		name string
+		do   func()
+	}{
+		{"append", func() {
+			if _, err := s.Append(pts[:7], ws[:7]); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"delete", func() {
+			if n := s.Delete(ids[3]); n != 1 {
+				t.Fatalf("delete removed %d points", n)
+			}
+		}},
+		{"compact", s.Compact},
+	}
+	for _, m := range mutate {
+		before := s.EpochSum()
+		m.do()
+		if after := s.EpochSum(); after == before {
+			t.Fatalf("%s left the epoch sum at %d", m.name, before)
+		}
+		misses := s.CacheStats().Misses
+		fresh, err := s.Do(ctx, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st := s.CacheStats(); st.Misses != misses+1 {
+			t.Fatalf("query after %s was served stale: %+v", m.name, st)
+		}
+		hits := s.CacheStats().Hits
+		again, err := s.Do(ctx, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st := s.CacheStats(); st.Hits != hits+1 {
+			t.Fatalf("re-warm after %s missed: %+v", m.name, st)
+		}
+		for k, agg := range allAggs {
+			testutil.CheckIdentical(t, fmt.Sprintf("after %s agg=%v", m.name, agg), fresh.Results[k], again.Results[k])
+		}
+	}
+	// The mutated dataset's cached answer still matches a from-scratch merge:
+	// mirror the append and delete on the unsharded reference (registration
+	// IDs there are input positions, per TestShardedMutationParity).
+	if _, err := ds.Append(pts[:7], ws[:7]); err != nil {
+		t.Fatal(err)
+	}
+	if n := ds.Delete(3); n != 1 {
+		t.Fatalf("reference delete removed %d", n)
+	}
+	want = unshardedDo(t, e, ds, allAggs, 64)
+	final, err := s.Do(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, agg := range allAggs {
+		testutil.CheckIdentical(t, fmt.Sprintf("post-mutation agg=%v", agg), want.Results[k], final.Results[k])
+	}
+	want.Release()
+
+	// Disabling the cache is a full bypass: counters freeze.
+	s.SetResultCacheCapacity(0)
+	frozen := s.CacheStats()
+	if _, err := s.Do(ctx, req); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.CacheStats(); st.Hits != frozen.Hits || st.Misses != frozen.Misses {
+		t.Fatalf("disabled cache still probed: %+v -> %+v", frozen, st)
+	}
+}

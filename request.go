@@ -89,8 +89,13 @@ type Response struct {
 	Err error
 
 	// scratch is the engine-pooled backing storage behind Results and
-	// Plan.Costs; Release hands it back.
+	// Plan.Costs; Release hands it back. Exactly one of scratch and cached
+	// is set on a successful Response.
 	scratch *respScratch
+	// cached, when non-nil, marks a result-cache hit: Results and Plan are
+	// the entry's shared read-only copies, and this Response holds one of
+	// its references until Release.
+	cached *cachedResponse
 }
 
 // Release returns the Response's backing storage — the result columns and
@@ -100,7 +105,20 @@ type Response struct {
 // them. Releasing is optional (an unreleased Response is ordinary garbage),
 // a released zero Response is a no-op, and each Response must be released
 // at most once, from one copy of it.
+//
+// For a result-cache hit, Release is a reference-count decrement on the
+// shared cached entry — never a pool return — so releasing a hit can never
+// hand another request's live backing storage back to the pool.
+//
+//distbound:noalloc
 func (r *Response) Release() {
+	if c := r.cached; c != nil {
+		r.cached = nil
+		r.Results = nil
+		r.Plan = Plan{}
+		c.release()
+		return
+	}
 	sc := r.scratch
 	if sc == nil {
 		return
@@ -270,6 +288,19 @@ func (e *Engine) Do(ctx context.Context, req Request) (Response, error) {
 	if err != nil {
 		return Response{}, err
 	}
+	// The cache key reads the dataset's mutation epoch here, before
+	// execution: a hit then serves data at least as new as any state this
+	// request could have observed by executing, which keeps cached serving
+	// linearizable under concurrent mutation. A disabled cache is a full
+	// bypass — no probe, no counters, and no deep copy on the way out — so
+	// the executed warm path stays allocation-free.
+	key, cacheable := resultCacheKey(req)
+	cacheable = cacheable && e.results.Enabled()
+	if cacheable {
+		if c, ok := e.results.Get(key); ok {
+			return c.respond(start), nil
+		}
+	}
 	resp := Response{scratch: e.getScratch()}
 	plan := e.planRequest(req, req.Repetitions, resp.scratch)
 	resp.Strategy, resp.Plan = plan.Strategy, plan
@@ -286,6 +317,9 @@ func (e *Engine) Do(ctx context.Context, req Request) (Response, error) {
 		// it is not recycled — Release on an errored response is a no-op.
 		resp.scratch = nil
 		return resp, canceledAs(ctx, err)
+	}
+	if cacheable {
+		e.results.Put(key, newCachedResponse(&resp))
 	}
 	return resp, nil
 }
@@ -368,9 +402,24 @@ func (e *Engine) DoBatch(ctx context.Context, reqs []Request, workers int) ([]Re
 	// execution, so batched warm resident requests reuse backing storage
 	// exactly as Do's do.
 	strategies := make([]Strategy, len(reqs))
+	keys := make([]resultKey, len(reqs))
+	cacheable := make([]bool, len(reqs))
+	hit := make([]bool, len(reqs))
 	for i := range reqs {
 		if !valid[i] {
 			continue
+		}
+		// Result-cache probe, with the same pre-execution epoch read as Do's:
+		// a warm request skips planning and execution entirely; a cacheable
+		// miss remembers its key so the worker inserts after executing. As in
+		// Do, a disabled cache is bypassed outright.
+		if k, ok := resultCacheKey(norm[i]); ok && e.results.Enabled() {
+			if c, ok := e.results.Get(k); ok {
+				resps[i] = c.respond(time.Now())
+				hit[i] = true
+				continue
+			}
+			keys[i], cacheable[i] = k, true
 		}
 		resps[i].scratch = e.getScratch()
 		plan := e.planRequest(norm[i], norm[i].Repetitions+sharing[keyOf(reqs[i])]-1, resps[i].scratch)
@@ -386,7 +435,7 @@ func (e *Engine) DoBatch(ctx context.Context, reqs []Request, workers int) ([]Re
 	}
 
 	err := pool.RunCtx(ctx, len(reqs), workers, func(_, i int) error {
-		if !valid[i] {
+		if !valid[i] || hit[i] {
 			return nil
 		}
 		t0 := time.Now()
@@ -395,6 +444,8 @@ func (e *Engine) DoBatch(ctx context.Context, reqs []Request, workers int) ([]Re
 		if err != nil {
 			resps[i].Err = canceledAs(ctx, err)
 			resps[i].scratch = nil // failed responses keep their plan tables
+		} else if cacheable[i] {
+			e.results.Put(keys[i], newCachedResponse(&resps[i]))
 		}
 		// Per-request failures land in Err rather than aborting the pool, so
 		// one bad request never drops its siblings.
